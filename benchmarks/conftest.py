@@ -1,0 +1,39 @@
+"""Shared helpers for the per-experiment benchmark targets.
+
+Each benchmark regenerates one of the paper's tables/figures via the
+experiment registry, prints the paper-style table to the terminal and saves
+it under ``benchmarks/results/`` (EXPERIMENTS.md records these shapes).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(capsys, result) -> None:
+    """Show an experiment's table on the terminal and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment}.txt").write_text(result.text)
+    with capsys.disabled():
+        print()
+        print(result.text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are macro-benchmarks (seconds each); one round is both
+    sufficient and necessary — repeated rounds would re-run entire engine
+    populations.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

@@ -1,0 +1,25 @@
+"""E2 (paper Fig. 2, motivation): SSTable access skew by level.
+
+Paper shape: under Zipfian reads, low levels (recently flushed tables) take
+far more accesses per table than the last level, which holds the large
+majority of the tables but a small minority of the requests (the paper
+measures ~70% of tables taking ~9% of accesses).
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e2_access_skew
+
+
+def test_e2_last_level_has_most_tables_but_few_accesses(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e2_access_skew,
+        kwargs=dict(num_records=8000, reads=4000),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    rows = result.data["rows"]
+    deepest = rows[-1]
+    assert deepest["tables_%"] > 50       # most tables live at the bottom...
+    assert deepest["accesses_%"] < deepest["tables_%"]  # ...but are colder
+    # Accesses per table decline with depth (hot data sits high).
+    per_table = [r["accesses"] / r["tables"] for r in rows if r["tables"]]
+    assert per_table[0] > per_table[-1]

@@ -1,0 +1,22 @@
+"""E7 (paper Fig. 8): mixed read/write workloads at varying read ratios.
+
+Paper shape: UniKV has the highest overall throughput at every mix —
+the headline claim ("significantly outperforms ... under read-write mixed
+workloads") — because neither its read path (unified index) nor its write
+path (no multi-level compaction) collapses when the other is active.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import PAPER_ENGINES, run_e7_mixed
+
+
+def test_e7_unikv_wins_every_mix(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e7_mixed,
+        kwargs=dict(num_records=5000, ops=5000, ratios=(0.1, 0.5, 0.9)),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    for i, ratio in enumerate(result.data["ratios"]):
+        best = max(result.data[name][i] for name in PAPER_ENGINES)
+        assert result.data["UniKV"][i] == best, f"UniKV not best at {ratio}"
+        assert result.data["UniKV"][i] > result.data["LevelDB"][i] * 1.3

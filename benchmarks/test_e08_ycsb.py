@@ -1,0 +1,24 @@
+"""E8 (paper Fig. 9): YCSB core workloads A-F.
+
+Paper shape: UniKV leads or matches on every core workload; the advantage
+is largest on the update-heavy (A, F) and read-heavy (B, C) mixes, and
+smallest on the scan-heavy workload E, where it stays comparable to
+LevelDB.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e8_ycsb
+
+
+def test_e8_ycsb_core_workloads(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e8_ycsb, kwargs=dict(num_records=4000, ops=3000),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    workloads = result.data["workloads"]
+    unikv = dict(zip(workloads, result.data["UniKV"]))
+    leveldb = dict(zip(workloads, result.data["LevelDB"]))
+    for w in ("A", "B", "C", "F"):
+        assert unikv[w] > leveldb[w] * 1.2, f"UniKV should lead YCSB-{w}"
+    # Scan-heavy E: comparable, not collapsed.
+    assert unikv["E"] > leveldb["E"] * 0.5

@@ -1,0 +1,27 @@
+"""E9 (paper Fig. 10): value-size sweep.
+
+Paper shape: UniKV's advantage holds across value sizes and its *load*
+advantage grows with larger values (KV separation moves ever more of the
+write volume out of the sorted structure), while the baselines' write
+amplification applies to the full KV pair at every size.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e9_value_size
+
+
+def test_e9_value_size_sweep(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e9_value_size,
+        kwargs=dict(total_bytes=1024 * 1024, sizes=(64, 256, 1024, 4096)),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    sizes = result.data["sizes"]
+    load = result.data["load"]
+    # UniKV leads load at every value size.
+    for i, size in enumerate(sizes):
+        assert load["UniKV"][i] > load["LevelDB"][i], f"value size {size}"
+    # Its relative advantage does not shrink as values grow.
+    small_ratio = load["UniKV"][0] / load["LevelDB"][0]
+    large_ratio = load["UniKV"][-1] / load["LevelDB"][-1]
+    assert large_ratio > small_ratio * 0.8

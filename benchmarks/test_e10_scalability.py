@@ -1,0 +1,29 @@
+"""E10 (paper Fig. 11): scalability with dataset size.
+
+Paper shape: as the dataset grows, the LSM baselines' throughput declines
+(deeper trees, more compaction); UniKV degrades much more slowly because
+dynamic range partitioning scales out instead of adding levels — the
+number of partitions grows, per-partition structure stays constant.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e10_scalability
+
+
+def test_e10_unikv_scales_out(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e10_scalability, kwargs=dict(sizes=(1500, 5000, 15000), reads=2000),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    load = result.data["load"]
+    read = result.data["read"]
+    # Partitions multiply with data (scale-out, not scale-up).
+    partitions = result.data["unikv_partitions"]
+    assert partitions[-1] > partitions[0]
+    # LevelDB's load throughput decays faster than UniKV's.
+    lvl_decay = load["LevelDB"][-1] / load["LevelDB"][0]
+    unikv_decay = load["UniKV"][-1] / load["UniKV"][0]
+    assert unikv_decay > lvl_decay
+    # At the largest size UniKV leads both phases.
+    assert load["UniKV"][-1] > load["LevelDB"][-1]
+    assert read["UniKV"][-1] > read["LevelDB"][-1]

@@ -1,0 +1,41 @@
+"""E11: UniKV parameter sensitivity + hash-index memory overhead.
+
+Paper shape: a larger UnsortedLimit improves writes (fewer merges) at the
+cost of hash-index memory; the partition size limit trades split cost
+against per-partition structure size; hash-index memory stays a small,
+roughly constant fraction of the data (the paper: ~1% at 1 KB values,
+~8 bytes per indexed KV pair).
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e11_index_memory, run_e11_sensitivity
+
+
+def test_e11_knob_sweeps(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e11_sensitivity, kwargs=dict(num_records=6000, reads=1500),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    rows = result.data["rows"]
+    unsorted_rows = [r for r in rows if r["knob"] == "unsorted_limit"]
+    # Larger UnsortedLimit -> fewer merges -> faster loads.
+    assert unsorted_rows[-1]["merges"] < unsorted_rows[0]["merges"]
+    assert unsorted_rows[-1]["load_kops"] > unsorted_rows[0]["load_kops"]
+    partition_rows = [r for r in rows if r["knob"] == "partition_limit"]
+    # Larger partitions -> fewer of them.
+    assert partition_rows[-1]["partitions"] <= partition_rows[0]["partitions"]
+
+
+def test_e11b_index_memory_fraction_small(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e11_index_memory,
+        kwargs=dict(num_records_list=(1500, 5000, 15000)),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    for row in result.data["rows"]:
+        # Small values are the worst case for per-entry indexing; even so
+        # the index stays a single-digit percentage of the data.
+        assert row["index_%_of_data"] < 8.0
+    # The fraction does not grow with the dataset (bounded UnsortedStore).
+    fractions = [r["index_%_of_data"] for r in result.data["rows"]]
+    assert fractions[-1] <= fractions[0] * 1.5

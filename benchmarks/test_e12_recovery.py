@@ -1,0 +1,21 @@
+"""E12: crash-recovery cost.
+
+Paper shape: recovery overhead is small — the manifest replay is tiny, the
+hash index reloads from its checkpoint plus at most UnsortedLimit/2 tables,
+and the WAL tail is short.  Recovery reads a small fraction of the store.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e12_recovery
+
+
+def test_e12_recovery_cost_small(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e12_recovery, kwargs=dict(num_records=8000),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    for row in result.data["rows"]:
+        assert row["correct"], row["engine"]
+        # Recovery reads far less than the full dataset.
+        assert row["recovery_read_KB"] < row["data_KB"] * 0.5
+        assert row["recovery_modelled_ms"] < 1000

@@ -1,0 +1,36 @@
+"""E13: design ablations (the knobs DESIGN.md calls out).
+
+Shapes:
+* disabling **partial KV separation** (full value rewrite each merge)
+  raises update write amplification;
+* disabling **dynamic range partitioning** concentrates everything in one
+  partition whose merges grow with the dataset;
+* disabling the **size-based scan merge** slows scans (more overlapping
+  UnsortedStore tables per seek) while speeding up pure writes.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e13_ablations
+
+
+def test_e13_ablations(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e13_ablations, kwargs=dict(num_records=5000, updates=9000),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    rows = {r["variant"]: r for r in result.data["rows"]}
+    full = rows["UniKV (full)"]
+    assert rows["no partial KV sep"]["write_amp"] > full["write_amp"]
+    assert rows["no range partitioning"]["partitions"] == 1
+    sm_on = rows["scan merge on (deep unsorted)"]
+    sm_off = rows["scan merge off (deep unsorted)"]
+    # With a deep UnsortedStore, the size-based merge keeps seeks cheap;
+    # without it every scan pays one probe per overlapping table.
+    assert sm_off["scan_entries_kops"] < sm_on["scan_entries_kops"]
+    assert sm_off["update_kops"] >= sm_on["update_kops"]  # merge costs writes
+    # Selective KV separation (small-KV extension): at tiny values the
+    # inline variant avoids the log indirection on every scanned entry.
+    inline = rows["small values, inline<64B"]
+    separated = rows["small values, separated"]
+    assert inline["scan_entries_kops"] > separated["scan_entries_kops"] * 1.5
+    assert inline["write_amp"] <= separated["write_amp"] * 1.05

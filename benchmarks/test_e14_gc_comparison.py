@@ -1,0 +1,22 @@
+"""E14 (extension): GC policy comparison — UniKV vs WiscKey.
+
+Shape (paper Sec. on GC + the KV-separation literature it cites): WiscKey's
+strict-tail GC must query the LSM index for every scanned record, which
+dominates its update cost; UniKV's greedy, partition-local GC derives
+liveness from one SortedStore scan and issues **zero** index queries.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e14_gc_comparison
+
+
+def test_e14_unikv_gc_needs_no_index_queries(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e14_gc_comparison, kwargs=dict(num_records=3000, updates=9000),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    unikv = result.data["UniKV"]
+    wisckey = result.data["WiscKey"]
+    assert unikv["gc_index_queries"] == 0
+    assert wisckey["gc_index_queries"] > 1000
+    assert unikv["update_kops"] > wisckey["update_kops"] * 2

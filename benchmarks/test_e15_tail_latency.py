@@ -1,0 +1,25 @@
+"""E15 (extension): modelled tail latency under a 50/50 mixed workload.
+
+Shape: medians are small for every engine (memtable / cache hits); the
+p99.9 write tail is orders of magnitude above the median because it
+carries each design's foreground maintenance (compaction cascades for the
+LSMs; merge/GC/split stalls for UniKV).
+"""
+
+from benchmarks.conftest import report
+from repro.bench.experiments import run_e15_tail_latency
+
+
+def test_e15_tail_latency(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_e15_tail_latency, kwargs=dict(num_records=4000, ops=4000),
+        rounds=1, iterations=1)
+    report(capsys, result)
+    for engine, row in result.data.items():
+        assert row["update_p50_us"] <= row["update_p99_us"] \
+            <= row["update_p999_us"], engine
+        # The write tail is maintenance stalls, far above the median.
+        assert row["update_p999_us"] > row["update_p50_us"] * 10, engine
+    # UniKV's median read is at least as fast as LevelDB's (unified index).
+    assert result.data["UniKV"]["read_p50_us"] <= \
+        result.data["LevelDB"]["read_p50_us"] * 1.5

@@ -1,0 +1,48 @@
+"""UniKV (ICDE 2020) reproduction.
+
+A from-scratch Python implementation of UniKV — a KV store that unifies an
+in-memory hash index over hot, unsorted data with a fully-sorted,
+KV-separated LSM layer for cold data — together with the baseline engines
+the paper compares against, the YCSB-style workload generators, and the
+benchmark harness that regenerates the paper's evaluation on a simulated
+SSD.
+
+Quick start::
+
+    from repro import UniKV
+
+    db = UniKV()
+    db.put(b"k", b"v")
+    assert db.get(b"k") == b"v"
+"""
+
+from repro.core import HashIndex, UniKV, UniKVConfig
+from repro.env import DeviceCostModel, SimulatedDisk
+from repro.lsm import (
+    HyperLevelDBStore,
+    KVStore,
+    LevelDBStore,
+    LSMConfig,
+    PebblesDBStore,
+    RocksDBStore,
+    SkimpyStashStore,
+    WiscKeyStore,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UniKV",
+    "UniKVConfig",
+    "HashIndex",
+    "SimulatedDisk",
+    "DeviceCostModel",
+    "KVStore",
+    "LSMConfig",
+    "LevelDBStore",
+    "RocksDBStore",
+    "HyperLevelDBStore",
+    "PebblesDBStore",
+    "WiscKeyStore",
+    "SkimpyStashStore",
+]

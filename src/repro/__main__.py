@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro --list                 # show the experiment registry
+    python -m repro E3 E4                  # run selected experiments
+    python -m repro all                    # run everything (minutes)
+    python -m repro E3 --records 20000     # override the workload scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="UniKV (ICDE 2020) reproduction: run evaluation experiments "
+                    "on the simulated device and print the paper-style tables.")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiment ids (e.g. E3 E7), or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--records", type=int, default=None,
+                        help="override num_records for experiments that take it")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()
+            print(f"  {exp_id:5s} {summary[0] if summary else ''}")
+        return 0
+    wanted = (list(ALL_EXPERIMENTS) if args.experiments == ["all"]
+              else args.experiments)
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} "
+              f"(try --list)", file=sys.stderr)
+        return 2
+    for exp_id in wanted:
+        fn = ALL_EXPERIMENTS[exp_id]
+        kwargs = {}
+        if args.records is not None and "num_records" in fn.__code__.co_varnames:
+            kwargs["num_records"] = args.records
+        result = fn(**kwargs)
+        print(result.text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Run metrics derived from I/O accounting + the device cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.env.cost_model import TimeBreakdown
+from repro.env.iostats import IOStats
+
+
+@dataclass
+class RunMetrics:
+    """Everything the paper reports about one workload phase on one engine.
+
+    Throughput is ops divided by *modelled* time: device seconds from the
+    cost model plus a small constant CPU cost per operation (so phases that
+    never touch the device — e.g. memtable hits — don't divide by zero).
+    """
+
+    engine: str
+    phase: str
+    num_ops: int
+    user_write_bytes: int
+    modelled_seconds: float
+    breakdown: TimeBreakdown
+    io: IOStats
+    index_memory_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+    #: per-op modelled seconds, keyed by op kind (populated only when the
+    #: runner was asked to collect latencies)
+    latencies: dict[str, list[float]] = field(default_factory=dict)
+
+    @property
+    def throughput_kops(self) -> float:
+        if self.modelled_seconds <= 0:
+            return float("inf")
+        return self.num_ops / self.modelled_seconds / 1000.0
+
+    @property
+    def device_write_bytes(self) -> int:
+        return self.io.write_bytes
+
+    @property
+    def device_read_bytes(self) -> int:
+        return self.io.read_bytes
+
+    @property
+    def write_amplification(self) -> float:
+        """Total device writes per byte the user wrote (paper's WA)."""
+        if self.user_write_bytes <= 0:
+            return 0.0
+        return self.io.write_bytes / self.user_write_bytes
+
+    @property
+    def read_ops_per_op(self) -> float:
+        """Device read operations per workload operation (read amp proxy)."""
+        if self.num_ops <= 0:
+            return 0.0
+        return self.io.read_ops / self.num_ops
+
+    def latency_us(self, op_kind: str, percentile: float) -> float:
+        """Modelled per-op latency percentile in microseconds.
+
+        ``percentile`` in [0, 100].  Requires the runner to have been
+        called with ``collect_latencies=True``.
+        """
+        samples = self.latencies.get(op_kind)
+        if not samples:
+            raise ValueError(f"no latency samples for op kind {op_kind!r}")
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(samples)
+        rank = min(len(ordered) - 1, int(percentile / 100 * len(ordered)))
+        return ordered[rank] * 1e6
+
+    def as_row(self) -> dict:
+        return {
+            "engine": self.engine,
+            "phase": self.phase,
+            "kops": round(self.throughput_kops, 2),
+            "write_amp": round(self.write_amplification, 2),
+            "reads/op": round(self.read_ops_per_op, 2),
+            "dev_write_MB": round(self.device_write_bytes / 1048576, 2),
+            "dev_read_MB": round(self.device_read_bytes / 1048576, 2),
+            "index_KB": round(self.index_memory_bytes / 1024, 1),
+        }

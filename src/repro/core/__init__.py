@@ -1,0 +1,15 @@
+"""UniKV core: the paper's contribution.
+
+Public surface:
+
+* :class:`UniKV` — the store (put/get/delete/scan, flush, describe).
+* :class:`UniKVConfig` — structural and policy parameters.
+* :class:`HashIndex` — the two-level cuckoo/chained hash index (exposed for
+  the memory-overhead experiments).
+"""
+
+from repro.core.config import UniKVConfig
+from repro.core.hash_index import HashIndex
+from repro.core.store import UniKV
+
+__all__ = ["UniKV", "UniKVConfig", "HashIndex"]

@@ -1,0 +1,124 @@
+"""Shared runtime context for one UniKV store instance.
+
+Holds the pieces every component needs — disk, config, manifest, file-number
+allocators, the shared-value-log reference registry (for lazy split), the
+block cache, counters, and the crash-injection hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.block_cache import BlockCache
+from repro.engine.sstable import SSTableReader
+from repro.engine.table_cache import TableCache
+from repro.engine.vlog import VLogReader
+from repro.core.config import UniKVConfig
+from repro.core.manifest import Manifest
+from repro.env.storage import SimulatedDisk
+
+
+@dataclass
+class CoreStats:
+    """Operation counters surfaced through UniKV.stats."""
+
+    flushes: int = 0
+    merges: int = 0
+    scan_merges: int = 0
+    gc_runs: int = 0
+    splits: int = 0
+    index_checkpoints: int = 0
+    hash_false_positive_probes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return self.__dict__.copy()
+
+
+class StoreContext:
+    """Per-store shared services and allocators."""
+
+    def __init__(self, disk: SimulatedDisk, config: UniKVConfig,
+                 manifest: Manifest) -> None:
+        self.disk = disk
+        self.config = config
+        self.manifest = manifest
+        self.cache = BlockCache(config.block_cache_bytes)
+        self.stats = CoreStats()
+        self.next_table = 0
+        self.next_log = 0
+        self.next_partition = 0
+        # value-log number -> set of partition ids still referencing it;
+        # a log file is deleted once its last reference is dropped (this is
+        # what makes the paper's lazy value split after partitioning safe).
+        self.log_refs: dict[int, set[int]] = {}
+        self._tables = TableCache(disk, config.table_cache_size,
+                                  block_cache=self.cache)
+        self._log_readers: dict[int, VLogReader] = {}
+        #: test hook: called with a point name at each crash-injection site
+        self.crash_hook = None
+
+    # -- crash injection -------------------------------------------------------------
+
+    def crash_point(self, point: str) -> None:
+        """Invoke the crash hook, if any (tests raise CrashPoint here)."""
+        if self.crash_hook is not None:
+            self.crash_hook(point)
+
+    # -- file naming / allocation ---------------------------------------------------------
+
+    def alloc_table_name(self) -> str:
+        name = f"sst-{self.next_table:06d}"
+        self.next_table += 1
+        return name
+
+    def alloc_log_number(self) -> int:
+        number = self.next_log
+        self.next_log += 1
+        return number
+
+    def alloc_partition_id(self) -> int:
+        pid = self.next_partition
+        self.next_partition += 1
+        return pid
+
+    @staticmethod
+    def log_name(log_number: int) -> str:
+        return f"vlog-{log_number:06d}"
+
+    # -- readers -----------------------------------------------------------------------
+
+    def table_reader(self, name: str, streaming: bool = False) -> SSTableReader:
+        """Reader for one table; ``streaming=True`` for merge/GC/split
+        inputs whose metadata reads ride the sequential pass."""
+        return self._tables.get(name, open_pattern="seq" if streaming else "rand")
+
+    def log_reader(self, log_number: int) -> VLogReader:
+        reader = self._log_readers.get(log_number)
+        if reader is None:
+            reader = VLogReader(self.disk, self.log_name(log_number))
+            self._log_readers[log_number] = reader
+        return reader
+
+    def drop_table(self, name: str) -> None:
+        self._tables.evict(name)
+        self.cache.evict_file(name)
+        if self.disk.exists(name):
+            self.disk.delete(name)
+
+    # -- shared-log reference counting ------------------------------------------------------
+
+    def add_log_ref(self, log_number: int, partition_id: int) -> None:
+        self.log_refs.setdefault(log_number, set()).add(partition_id)
+
+    def drop_log_ref(self, log_number: int, partition_id: int) -> None:
+        """Release one partition's reference; delete the log when orphaned."""
+        refs = self.log_refs.get(log_number)
+        if refs is None:
+            return
+        refs.discard(partition_id)
+        if not refs:
+            del self.log_refs[log_number]
+            self._log_readers.pop(log_number, None)
+            name = self.log_name(log_number)
+            if self.disk.exists(name):
+                self.disk.delete(name)

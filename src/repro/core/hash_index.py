@@ -1,0 +1,204 @@
+"""UniKV's lightweight two-level in-memory hash index.
+
+One index per partition covers that partition's UnsortedStore.  Each index
+entry is conceptually ``<keyTag (2B), sstableID (2B), pointer (4B)>`` — 8
+bytes — exactly the paper's layout; :meth:`memory_bytes` reports that cost.
+
+* **Cuckoo placement**: insertion tries the ``n`` candidate buckets
+  ``h_1(key)..h_n(key) % N`` and takes the first empty primary slot.
+* **Chained overflow**: if all candidates' primary slots are taken, the
+  entry is appended to bucket ``h_n(key) % N``'s overflow chain.
+* **keyTag filtering**: the top 2 bytes of an independent hash
+  ``h_{n+1}(key)`` are stored with each entry; lookups compare tags first
+  and only touch disk for tag matches.  Tag collisions are possible — the
+  store resolves them by comparing the key stored on disk, so a false
+  positive costs one extra table probe, never a wrong answer.
+
+Old versions of a key leave stale entries behind (newest wins because
+candidates are probed in descending SSTable id); the whole index is cleared
+when the UnsortedStore merges into the SortedStore, and rebuilt table-by-
+table after a scan-triggered size-based merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.engine.errors import CorruptionError
+
+_ENTRY_BYTES = 8  # keyTag(2) + sstableID(2) + pointer(4), as in the paper
+
+
+def _hashes(key: bytes, count: int) -> list[int]:
+    """``count + 1`` independent 64-bit hashes of ``key``.
+
+    The first ``count`` choose candidate buckets; the last supplies the
+    2-byte keyTag.
+    """
+    out: list[int] = []
+    seed = 0
+    while len(out) < count + 1:
+        digest = hashlib.blake2b(key, digest_size=8, salt=seed.to_bytes(2, "little")).digest()
+        out.append(int.from_bytes(digest, "little"))
+        seed += 1
+    return out
+
+
+class HashIndex:
+    """In-memory index from key to UnsortedStore SSTable id."""
+
+    #: maximum cuckoo displacement chain before giving up and chaining
+    MAX_KICKS = 16
+
+    def __init__(self, num_buckets: int, num_hashes: int = 4) -> None:
+        self.num_buckets = num_buckets
+        self.num_hashes = num_hashes
+        # bucket -> list of (key_tag, sstable_id); index 0 is the cuckoo
+        # primary slot, the rest are the overflow chain (appended newest-last).
+        self._buckets: list[list[tuple[int, int]]] = [[] for __ in range(num_buckets)]
+        # primary-slot occupants remember their alternate candidate buckets
+        # so they can be displaced (cuckoo-style) by later insertions;
+        # this costs nothing in the modelled 8B/entry budget because the
+        # candidates are recomputable from the key — we cache them only to
+        # keep the simulation O(1), as the real system recomputes hashes.
+        self._alternates: dict[int, list[int]] = {}
+        self._kick_rotor = 0
+        self._num_entries = 0
+
+    # -- key hashing -----------------------------------------------------------------
+
+    def _candidates_and_tag(self, key: bytes) -> tuple[list[int], int]:
+        hashes = _hashes(key, self.num_hashes)
+        buckets = [h % self.num_buckets for h in hashes[:-1]]
+        key_tag = (hashes[-1] >> 48) & 0xFFFF  # high 2 bytes
+        return buckets, key_tag
+
+    # -- operations --------------------------------------------------------------------
+
+    def insert(self, key: bytes, sstable_id: int) -> None:
+        """Record that the newest version of ``key`` lives in ``sstable_id``.
+
+        Placement is cuckoo-style: the entry takes the first empty candidate
+        bucket; if all are occupied, occupants are displaced along their own
+        candidate lists for up to :attr:`MAX_KICKS` hops before falling back
+        to the overflow chain.  Every entry always resides in one of its own
+        candidate buckets, so lookups never miss.
+        """
+        candidates, key_tag = self._candidates_and_tag(key)
+        entry = (key_tag, sstable_id)
+        self._num_entries += 1
+        if self._try_place(entry, candidates):
+            return
+        self._insert_with_kicks(entry, candidates)
+
+    def _try_place(self, entry: tuple[int, int], candidates: list[int]) -> bool:
+        for b in candidates:
+            if not self._buckets[b]:
+                self._buckets[b].append(entry)
+                self._alternates[b] = candidates
+                return True
+        return False
+
+    def _insert_with_kicks(self, entry: tuple[int, int],
+                           candidates: list[int]) -> None:
+        bucket = candidates[self._kick_rotor % len(candidates)]
+        self._kick_rotor += 1
+        for __ in range(self.MAX_KICKS):
+            bucket_list = self._buckets[bucket]
+            victim = bucket_list[0]
+            victim_candidates = self._alternates.get(bucket)
+            bucket_list[0] = entry
+            self._alternates[bucket] = candidates
+            if victim_candidates is None:
+                # Occupant restored from a checkpoint (alternates are not
+                # persisted): it cannot be relocated, chain it here — its
+                # residing bucket is already one of its candidates.
+                bucket_list.append(victim)
+                return
+            entry, candidates = victim, victim_candidates
+            if self._try_place(entry, candidates):
+                return
+            choices = [b for b in candidates if b != bucket] or candidates
+            bucket = choices[self._kick_rotor % len(choices)]
+            self._kick_rotor += 1
+        # Displacement budget exhausted: chain onto a candidate bucket.
+        self._buckets[candidates[-1]].append(entry)
+
+    def lookup(self, key: bytes) -> list[int]:
+        """Candidate SSTable ids for ``key``, newest (highest id) first.
+
+        May contain false positives (keyTag collisions); never misses a
+        table that holds the key.
+        """
+        buckets, key_tag = self._candidates_and_tag(key)
+        matches: list[int] = []
+        for b in buckets:
+            for tag, sstable_id in self._buckets[b]:
+                if tag == key_tag:
+                    matches.append(sstable_id)
+        # Descending table id == newest first (ids grow monotonically).
+        return sorted(set(matches), reverse=True)
+
+    def clear(self) -> None:
+        for bucket in self._buckets:
+            bucket.clear()
+        self._alternates.clear()
+        self._kick_rotor = 0
+        self._num_entries = 0
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    def memory_bytes(self) -> int:
+        """Modelled memory cost: 8 bytes per entry, as in the paper."""
+        return self._num_entries * _ENTRY_BYTES
+
+    def bucket_utilization(self) -> float:
+        """Fraction of buckets whose primary slot is occupied."""
+        occupied = sum(1 for b in self._buckets if b)
+        return occupied / self.num_buckets
+
+    def overflow_entries(self) -> int:
+        """Entries living in overflow chains rather than primary slots."""
+        return sum(max(0, len(b) - 1) for b in self._buckets)
+
+    # -- checkpointing (crash consistency) ----------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize for an on-disk checkpoint."""
+        parts = [struct.pack("<III", self.num_buckets, self.num_hashes, self._num_entries)]
+        for bi, bucket in enumerate(self._buckets):
+            if not bucket:
+                continue
+            parts.append(struct.pack("<IH", bi, len(bucket)))
+            for tag, sstable_id in bucket:
+                parts.append(struct.pack("<HI", tag, sstable_id))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "HashIndex":
+        if len(buf) < 12:
+            raise CorruptionError("hash-index checkpoint too small")
+        num_buckets, num_hashes, num_entries = struct.unpack_from("<III", buf, 0)
+        index = cls(num_buckets, num_hashes)
+        pos = 12
+        loaded = 0
+        while pos < len(buf):
+            bi, count = struct.unpack_from("<IH", buf, pos)
+            pos += 6
+            if bi >= num_buckets:
+                raise CorruptionError("hash-index checkpoint bucket out of range")
+            bucket = index._buckets[bi]
+            for __ in range(count):
+                tag, sstable_id = struct.unpack_from("<HI", buf, pos)
+                pos += 6
+                bucket.append((tag, sstable_id))
+                loaded += 1
+        if loaded != num_entries:
+            raise CorruptionError("hash-index checkpoint entry count mismatch")
+        index._num_entries = loaded
+        return index

@@ -1,0 +1,128 @@
+"""Dynamic range partitioning: splitting an oversized partition in two.
+
+The paper's split = one compaction plus one (partial) GC, executed with the
+partition locked:
+
+1. all of the partition's keys (UnsortedStore + SortedStore) are
+   merge-sorted; the median key ``K`` becomes the split boundary;
+2. keys < K form partition P1, keys >= K form P2 — **eager key split**;
+3. the *inline* values still sitting in the UnsortedStore are appended to
+   each new partition's freshly created log file — they must leave the
+   UnsortedStore because the new partitions start with empty UnsortedStores;
+4. values already in the old SortedStore's logs keep their old pointers —
+   the **lazy value split**: both new partitions reference the old (now
+   shared) log files, and each partition's next GC migrates its live values
+   out and releases the shared logs.
+
+One manifest record commits the whole transition atomically.
+"""
+
+from __future__ import annotations
+
+from repro.engine.iterators import merge_sorted
+from repro.engine.keys import KIND_VALUE, KIND_VPTR
+from repro.engine.sstable import SSTableBuilder, TableMeta
+from repro.engine.vlog import ValuePointer, VLogWriter
+from repro.core.context import StoreContext
+from repro.core.manifest import meta_to_json
+from repro.core.partition import Partition
+
+
+def split_partition(ctx: StoreContext, partition: Partition) -> list[Partition] | None:
+    """Split ``partition`` at its median key; returns [P1, P2] or None.
+
+    Returns None when the partition holds fewer than two distinct keys
+    (nothing to split).
+    """
+    ctx.crash_point("split:start")
+
+    # Step 1: flush-equivalent + merge-sort of every key in the partition.
+    # The memtable participates directly (the paper first flushes all
+    # in-memory KV pairs): its entries land in the split output, so they
+    # stay durable even though the old partition's WAL is retired.
+    sources = [partition.mem.entries()]
+    sources.extend(partition.unsorted.all_entry_sources(tag="split"))
+    sources.append(partition.sorted.all_entries(tag="split"))
+    records = [r for r in merge_sorted(sources, drop_tombstones=True)]
+    if len(records) < 2:
+        return None
+    boundary = records[len(records) // 2][0]
+    halves = (
+        (partition.lower, [r for r in records if r[0] < boundary]),
+        (boundary, [r for r in records if r[0] >= boundary]),
+    )
+
+    shared_logs = sorted(partition.log_numbers)
+    new_parts: list[Partition] = []
+    committed: list[dict] = []
+    for lower, part_records in halves:
+        new_id = ctx.alloc_partition_id()
+        part = Partition(ctx, new_id, lower)
+        log_number: int | None = None
+        log_writer: VLogWriter | None = None
+        tables: list[TableMeta] = []
+        builder: SSTableBuilder | None = None
+        live_value_bytes = 0
+        inline_below = ctx.config.inline_value_threshold
+        for key, kind, payload in part_records:
+            if kind == KIND_VALUE and len(payload) >= inline_below:
+                # Eager split of the UnsortedStore's inline values.
+                if log_writer is None:
+                    log_number = ctx.alloc_log_number()
+                    log_writer = VLogWriter(ctx.disk, ctx.log_name(log_number),
+                                            partition=new_id,
+                                            log_number=log_number, tag="split")
+                ptr = log_writer.append(key, payload)
+                live_value_bytes += ptr.length
+                payload = ptr.encode()
+                kind = KIND_VPTR
+            elif kind == KIND_VPTR:
+                # Lazy split: the value stays where it is, behind its pointer.
+                live_value_bytes += ValuePointer.decode(payload).length
+            # (small KIND_VALUE records stay inline: selective KV separation)
+            if builder is None:
+                builder = SSTableBuilder(
+                    ctx.disk, ctx.alloc_table_name(), tag="split",
+                    block_size=ctx.config.block_size,
+                    prefix_compression=ctx.config.block_prefix_compression)
+            builder.add(key, kind, payload)
+            if builder.estimated_size >= ctx.config.sstable_size:
+                tables.append(builder.finish())
+                builder = None
+        if builder is not None and builder.num_entries:
+            tables.append(builder.finish())
+        if log_writer is not None:
+            log_writer.close()
+        part.sorted.replace_tables(tables)
+        part.sorted.live_value_bytes = live_value_bytes
+        new_parts.append(part)
+        committed.append({
+            "id": new_id,
+            "lower": lower.hex(),
+            "tables": [meta_to_json(m) for m in tables],
+            "new_log": log_number,
+            "live_value_bytes": live_value_bytes,
+        })
+
+    ctx.crash_point("split:before_commit")
+    ctx.manifest.append({
+        "type": "split",
+        "old_partition": partition.id,
+        "shared_logs": shared_logs,
+        "parts": committed,
+    })
+    ctx.crash_point("split:after_commit")
+
+    # Apply: transfer log references, reclaim the old partition's tables.
+    for part, info in zip(new_parts, committed):
+        if info["new_log"] is not None:
+            part.add_log(info["new_log"])
+        for log_number in shared_logs:
+            part.add_log(log_number)
+    old_tables = ([m.name for m in partition.unsorted.tables.values()]
+                  + [m.name for m in partition.sorted.tables])
+    partition.release_all_logs()
+    for name in old_tables:
+        ctx.drop_table(name)
+    ctx.stats.splits += 1
+    return new_parts

@@ -1,0 +1,384 @@
+"""UniKV public facade.
+
+Ties together the unified-indexing design: a store-level memtable + WAL in
+front of range partitions, each holding a hash-indexed UnsortedStore over an
+append-only table list (hot data, inline values) and a fully-sorted,
+KV-separated SortedStore (cold data).  Writes are absorbed by flushes;
+merges (partial KV separation), GC, scan-merges and range splits run as
+foreground maintenance after flushes, exactly when their triggers fire.
+
+Typical use::
+
+    from repro import UniKV, UniKVConfig
+
+    db = UniKV()
+    db.put(b"user:1", b"alice")
+    db.get(b"user:1")
+    db.scan(b"user:", 10)
+
+Reopening over an existing :class:`~repro.env.SimulatedDisk` recovers the
+store from its manifest, WAL and hash-index checkpoints::
+
+    db2 = UniKV(disk=db.disk, config=db.config)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
+
+from repro.engine.iterators import merge_sorted
+from repro.engine.keys import KIND_TOMBSTONE, KIND_VALUE, KIND_VPTR
+from repro.engine.memtable import MemTable
+from repro.engine.sstable import SSTableBuilder
+from repro.engine.wal import WalWriter
+from repro.core.config import UniKVConfig
+from repro.core.context import StoreContext
+from repro.core.gc import run_gc
+from repro.core.manifest import Manifest, meta_to_json
+from repro.core.merge import merge_partition
+from repro.core.partition import Partition
+from repro.core.split import split_partition
+from repro.env.storage import SimulatedDisk
+from repro.lsm.base import KVStore
+
+Record = tuple[bytes, int, bytes]
+
+
+class UniKV(KVStore):
+    """Unified hash/LSM-indexed KV store (the paper's system)."""
+
+    name = "UniKV"
+    #: scans fetch values through this tag; the bench harness parallelizes it
+    #: (the paper's 32-thread fetch pool + readahead)
+    scan_value_tag = "scan_value"
+
+    def __init__(self, disk: SimulatedDisk | None = None,
+                 config: UniKVConfig | None = None) -> None:
+        self.config = config if config is not None else UniKVConfig()
+        self.config.validate()
+        disk = disk if disk is not None else SimulatedDisk()
+        if disk.exists("MANIFEST"):
+            from repro.core.recovery import recover_store
+            recover_store(self, disk)
+            return
+        self.ctx = StoreContext(disk, self.config, Manifest(disk))
+        first = Partition(self.ctx, self.ctx.alloc_partition_id(), b"")
+        self.partitions: list[Partition] = [first]
+        self.ctx.manifest.append({"type": "init", "partition": first.id, "lower": ""})
+        self._next_wal = 0
+        self._next_ckpt = 0
+        if self.config.wal_enabled:
+            self._rotate_wal(first)
+        #: per-partition current index checkpoint: pid -> (file, covered ids)
+        self._checkpoints: dict[int, tuple[str, list[int]]] = {}
+
+    # -- public API -------------------------------------------------------------------
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self.ctx.disk
+
+    @property
+    def stats(self):
+        return self.ctx.stats
+
+    def put(self, key: bytes, value: bytes) -> None:
+        partition = self._partition_for(key)
+        if partition.wal is not None:
+            partition.wal.append(key, KIND_VALUE, value)
+        partition.mem.put(key, value)
+        self._maybe_flush(partition)
+
+    def delete(self, key: bytes) -> None:
+        partition = self._partition_for(key)
+        if partition.wal is not None:
+            partition.wal.append(key, KIND_TOMBSTONE, b"")
+        partition.mem.delete(key)
+        self._maybe_flush(partition)
+
+    def write_batch(self, ops: list[tuple]) -> None:
+        """Apply a batch of ``("put", key, value)`` / ``("delete", key)``.
+
+        Ops are grouped by partition; each group is made durable as ONE
+        WAL record, so a batch whose keys fall in a single partition (the
+        common case) is fully atomic across crashes.  A batch spanning
+        partitions is atomic per partition: a crash can persist some
+        partitions' groups and not others, never a partial group.
+        """
+        groups: dict[int, list[tuple[bytes, int, bytes]]] = {}
+        for op in ops:
+            if op[0] == "put":
+                entry = (op[1], KIND_VALUE, op[2])
+            elif op[0] == "delete":
+                entry = (op[1], KIND_TOMBSTONE, b"")
+            else:
+                raise ValueError(f"unknown batch op {op[0]!r}")
+            groups.setdefault(self._partition_index(entry[0]), []).append(entry)
+        touched = []
+        for pi, entries in sorted(groups.items()):
+            partition = self.partitions[pi]
+            if partition.wal is not None:
+                partition.wal.append_batch(entries)
+            for key, kind, value in entries:
+                if kind == KIND_VALUE:
+                    partition.mem.put(key, value)
+                else:
+                    partition.mem.delete(key)
+            touched.append(partition)
+        for partition in touched:
+            if partition in self.partitions:
+                self._maybe_flush(partition)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._partition_for(key).get(key)
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        """Range scan: seek to ``start``, return up to ``count`` live pairs.
+
+        Within each partition this runs seek()/next() over the memtable,
+        every UnsortedStore table (their ranges overlap) and the SortedStore
+        run; pointer values are fetched through the parallel-fetch tag.
+        Partitions are disjoint and sorted, so they are consumed in order.
+        """
+        out: list[tuple[bytes, bytes]] = []
+        if count <= 0:
+            return out
+        start_index = self._partition_index(start)
+        for pi in range(start_index, len(self.partitions)):
+            partition = self.partitions[pi]
+            lo = max(start, partition.lower)
+            hi = (self.partitions[pi + 1].lower
+                  if pi + 1 < len(self.partitions) else None)
+            for key, kind, payload in self._partition_scan(partition, lo, hi):
+                if kind == KIND_TOMBSTONE:
+                    continue
+                if kind == KIND_VPTR:
+                    value = partition.sorted.resolve_pointer(
+                        key, payload, tag=self.scan_value_tag)
+                else:
+                    value = payload
+                out.append((key, value))
+                if len(out) >= count:
+                    return out
+        return out
+
+    def items(self, start: bytes = b"",
+              end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        """Stream live (key, value) pairs with start <= key < end, sorted.
+
+        A lazy alternative to :meth:`scan` for unbounded iteration.  The
+        store must not be mutated while the iterator is live (single-writer
+        discipline, as in LevelDB iterators without snapshots).
+        """
+        start_index = self._partition_index(start)
+        for pi in range(start_index, len(self.partitions)):
+            partition = self.partitions[pi]
+            if end is not None and partition.lower >= end:
+                return
+            lo = max(start, partition.lower)
+            hi = (self.partitions[pi + 1].lower
+                  if pi + 1 < len(self.partitions) else None)
+            for key, kind, payload in self._partition_scan(partition, lo, hi):
+                if end is not None and key >= end:
+                    return
+                if kind == KIND_TOMBSTONE:
+                    continue
+                if kind == KIND_VPTR:
+                    yield key, partition.sorted.resolve_pointer(
+                        key, payload, tag=self.scan_value_tag)
+                else:
+                    yield key, payload
+
+    def flush(self) -> None:
+        """Flush every partition's memtable and run triggered maintenance."""
+        for partition in list(self.partitions):
+            if partition in self.partitions:  # may have been split away
+                self._flush_partition(partition)
+        self._maybe_split()
+
+    # -- routing -----------------------------------------------------------------------
+
+    def _partition_index(self, key: bytes) -> int:
+        boundaries = [p.lower for p in self.partitions[1:]]
+        return bisect_right(boundaries, key)
+
+    def _partition_for(self, key: bytes) -> Partition:
+        return self.partitions[self._partition_index(key)]
+
+    # -- write path ---------------------------------------------------------------------
+
+    def _maybe_flush(self, partition: Partition) -> None:
+        if partition.mem.approximate_size >= self.config.memtable_size:
+            self._flush_partition(partition)
+            self._maybe_split()
+
+    def _flush_partition(self, partition: Partition) -> None:
+        """Flush one partition's memtable into its UnsortedStore."""
+        if not partition.mem:
+            return
+        self.ctx.crash_point("flush:start")
+        name = self.ctx.alloc_table_name()
+        table_id = int(name.rsplit("-", 1)[1])
+        builder = SSTableBuilder(
+            self.ctx.disk, name, tag="flush",
+            block_size=self.config.block_size,
+            prefix_compression=self.config.block_prefix_compression)
+        keys: list[bytes] = []
+        for key, kind, value in partition.mem.entries():
+            builder.add(key, kind, value)
+            keys.append(key)
+        meta = builder.finish()
+        self.ctx.crash_point("flush:before_commit")
+        self.ctx.manifest.append({
+            "type": "flush",
+            "partition": partition.id,
+            "table_id": table_id,
+            "meta": meta_to_json(meta),
+        })
+        partition.unsorted.add_flushed_table(table_id, meta, keys)
+        partition.mem = MemTable(seed=self.config.seed)
+        self.ctx.stats.flushes += 1
+        if partition.wal is not None:
+            self._rotate_wal(partition)
+        self._maybe_checkpoint_index(partition)
+        self._run_partition_maintenance(partition)
+
+    def _rotate_wal(self, partition: Partition) -> None:
+        old = partition.wal
+        name = f"wal-{self._next_wal:06d}"
+        self._next_wal += 1
+        partition.wal = WalWriter(self.ctx.disk, name, tag="wal")
+        self.ctx.manifest.append({"type": "wal", "partition": partition.id,
+                                  "name": name})
+        if old is not None:
+            old.close()
+            if self.ctx.disk.exists(old.name):
+                self.ctx.disk.delete(old.name)
+
+    # -- maintenance -----------------------------------------------------------------------
+
+    def _run_partition_maintenance(self, partition: Partition) -> None:
+        if partition.needs_merge():
+            merge_partition(self.ctx, partition)
+            if partition.needs_gc():
+                run_gc(self.ctx, partition)
+        elif partition.unsorted.needs_scan_merge():
+            self._scan_merge(partition)
+
+    def _scan_merge(self, partition: Partition) -> None:
+        """Size-based merge of the UnsortedStore into one sorted table."""
+        self.ctx.crash_point("scan_merge:start")
+        old_names, meta, keys = partition.unsorted.scan_merge(self.ctx.next_table)
+        table_id = int(meta.name.rsplit("-", 1)[1])
+        self.ctx.crash_point("scan_merge:before_commit")
+        self.ctx.manifest.append({
+            "type": "scan_merge",
+            "partition": partition.id,
+            "removed": old_names,
+            "table_id": table_id,
+            "meta": meta_to_json(meta),
+        })
+        partition.unsorted.apply_scan_merge(old_names, table_id, meta, keys)
+        # The index was rebuilt: any older checkpoint no longer applies.
+        self._drop_checkpoint(partition.id)
+
+    def _maybe_split(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for pi, partition in enumerate(self.partitions):
+                if not partition.needs_split():
+                    continue
+                parts = split_partition(self.ctx, partition)
+                if parts is None:
+                    continue
+                self.partitions[pi:pi + 1] = parts
+                self._drop_checkpoint(partition.id)
+                # Retire the old partition's WAL (its memtable was folded
+                # into the split output) and start fresh WALs for the halves.
+                if partition.wal is not None:
+                    partition.wal.close()
+                    if self.ctx.disk.exists(partition.wal.name):
+                        self.ctx.disk.delete(partition.wal.name)
+                if self.config.wal_enabled:
+                    for part in parts:
+                        self._rotate_wal(part)
+                changed = True
+                break
+
+    # -- hash-index checkpointing -----------------------------------------------------------
+
+    def _maybe_checkpoint_index(self, partition: Partition) -> None:
+        interval = self.config.index_checkpoint_interval
+        if interval <= 0:
+            return
+        if partition.unsorted.flushes_since_checkpoint < interval:
+            return
+        self._checkpoint_index(partition)
+
+    def _checkpoint_index(self, partition: Partition) -> None:
+        name = f"ckpt-{self._next_ckpt:06d}"
+        self._next_ckpt += 1
+        writer = self.ctx.disk.create(name)
+        writer.append(partition.unsorted.index.encode(), tag="checkpoint")
+        writer.close()
+        covered = sorted(partition.unsorted.tables)
+        self.ctx.crash_point("checkpoint:before_commit")
+        self.ctx.manifest.append({
+            "type": "checkpoint",
+            "partition": partition.id,
+            "file": name,
+            "covered": covered,
+        })
+        self._drop_checkpoint(partition.id)
+        self._checkpoints[partition.id] = (name, covered)
+        partition.unsorted.flushes_since_checkpoint = 0
+        self.ctx.stats.index_checkpoints += 1
+
+    def _drop_checkpoint(self, partition_id: int) -> None:
+        prior = self._checkpoints.pop(partition_id, None)
+        if prior is not None and self.ctx.disk.exists(prior[0]):
+            self.ctx.disk.delete(prior[0])
+
+    # -- scans ----------------------------------------------------------------------------
+
+    def _partition_scan(self, partition: Partition, lo: bytes,
+                        hi: bytes | None) -> Iterator[Record]:
+        # The partition's memtable only holds keys in its range, so no
+        # clipping against ``hi`` is needed.
+        sources: list[Iterator[Record]] = [partition.mem.entries_from(lo)]
+        sources.extend(partition.unsorted.scan_sources(lo))
+        sources.append(partition.sorted.entries_from(lo))
+        return merge_sorted(sources)
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def index_memory_bytes(self) -> int:
+        """Hash indexes + partition boundary keys (the paper's memory cost)."""
+        total = sum(p.unsorted.index.memory_bytes() for p in self.partitions)
+        total += sum(len(p.lower) + 8 for p in self.partitions)
+        return total
+
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def table_metadata_bytes(self) -> int:
+        """Memory held by resident table metadata (index blocks + bounds).
+
+        UniKV pins table metadata in memory instead of Bloom filters; this
+        reports that budget so the memory-overhead experiments can weigh it
+        against the baselines' filter memory.
+        """
+        total = 0
+        for reader in self.ctx._tables.open_readers():
+            total += sum(len(k) + 12 for k in reader._block_last_keys)
+            total += len(reader.smallest) + len(reader.largest) + 24
+        return total
+
+    def describe(self) -> dict:
+        return {
+            "partitions": [p.describe() for p in self.partitions],
+            "stats": self.ctx.stats.as_dict(),
+            "index_memory_bytes": self.index_memory_bytes(),
+        }

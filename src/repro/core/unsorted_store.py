@@ -1,0 +1,141 @@
+"""UnsortedStore: the hot, append-only first layer of a partition.
+
+Tables land here directly from memtable flushes, in arrival order, with
+overlapping key ranges; the in-memory :class:`~repro.core.hash_index.HashIndex`
+is the only index over them (no Bloom filters, no sorted structure), so a
+lookup costs at most one data-block read per candidate table and writes cost
+nothing beyond the flush itself.
+
+Values are *not* separated here (partial KV separation): recently written
+data is hot and kept inline for fast access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.sstable import SSTableBuilder, TableMeta
+from repro.core.context import StoreContext
+from repro.core.hash_index import HashIndex
+
+Record = tuple[bytes, int, bytes]
+
+
+class UnsortedStore:
+    """Append-only table list + hash index for one partition."""
+
+    def __init__(self, ctx: StoreContext, partition_id: int) -> None:
+        self._ctx = ctx
+        self.partition_id = partition_id
+        # table id -> meta; ids grow monotonically so insertion order == age.
+        self.tables: dict[int, TableMeta] = {}
+        self.index = HashIndex(ctx.config.hash_buckets, ctx.config.hash_functions)
+        #: flushes since the last index checkpoint (crash consistency)
+        self.flushes_since_checkpoint = 0
+
+    # -- writes -----------------------------------------------------------------
+
+    def add_flushed_table(self, table_id: int, meta: TableMeta,
+                          keys: list[bytes]) -> None:
+        """Register a freshly flushed table and index its keys."""
+        self.tables[table_id] = meta
+        for key in keys:
+            self.index.insert(key, table_id)
+        self.flushes_since_checkpoint += 1
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, key: bytes) -> tuple[int, bytes] | None:
+        """(kind, value) from the newest table holding ``key``, else None.
+
+        Tombstones are returned (positive answer) — the caller must not
+        fall through to the SortedStore.
+        """
+        for table_id in self.index.lookup(key):
+            meta = self.tables.get(table_id)
+            if meta is None:
+                continue  # stale entry left behind by an old version
+            found = self._ctx.table_reader(meta.name).get(key, tag="lookup")
+            if found is not None:
+                return found
+            self._ctx.stats.hash_false_positive_probes += 1
+        return None
+
+    def scan_sources(self, start: bytes) -> list[Iterator[Record]]:
+        """One iterator per table (tables overlap), newest first."""
+        sources: list[Iterator[Record]] = []
+        for table_id in sorted(self.tables, reverse=True):
+            meta = self.tables[table_id]
+            if meta.largest >= start:
+                reader = self._ctx.table_reader(meta.name)
+                sources.append(reader.entries_from(start, tag="scan"))
+        return sources
+
+    def all_entry_sources(self, tag: str) -> list[Iterator[Record]]:
+        """One full-table iterator per table, newest first (merge input)."""
+        return [
+            self._ctx.table_reader(self.tables[tid].name,
+                                   streaming=True).entries(tag=tag)
+            for tid in sorted(self.tables, reverse=True)
+        ]
+
+    # -- scan optimization: size-based merge ------------------------------------------
+
+    def needs_scan_merge(self) -> bool:
+        limit = self._ctx.config.scan_merge_limit
+        return limit > 0 and len(self.tables) >= limit
+
+    def scan_merge(self, next_table_id: int) -> tuple[list[str], TableMeta, list[bytes]]:
+        """Merge every table into one globally sorted table.
+
+        Returns (old table names, new meta, keys of the merged table); the
+        caller commits the swap to the manifest and then calls
+        :meth:`apply_scan_merge`.  Tombstones are preserved — they still
+        shadow SortedStore data.
+        """
+        from repro.engine.iterators import merge_sorted
+
+        ctx = self._ctx
+        builder = SSTableBuilder(
+            ctx.disk, ctx.alloc_table_name(), tag="scan_merge",
+            block_size=ctx.config.block_size,
+            prefix_compression=ctx.config.block_prefix_compression)
+        keys: list[bytes] = []
+        for key, kind, value in merge_sorted(self.all_entry_sources(tag="scan_merge")):
+            builder.add(key, kind, value)
+            keys.append(key)
+        meta = builder.finish()
+        old_names = [m.name for m in self.tables.values()]
+        return old_names, meta, keys
+
+    def apply_scan_merge(self, old_names: list[str], table_id: int,
+                         meta: TableMeta, keys: list[bytes]) -> None:
+        """Install the merged table and rebuild the hash index over it."""
+        self.tables = {table_id: meta}
+        self.index.clear()
+        for key in keys:
+            self.index.insert(key, table_id)
+        for name in old_names:
+            self._ctx.drop_table(name)
+        self._ctx.stats.scan_merges += 1
+
+    # -- merge into SortedStore ---------------------------------------------------------
+
+    def drain(self) -> list[str]:
+        """Forget all tables + index entries; returns the stale file names."""
+        old = [m.name for m in self.tables.values()]
+        self.tables.clear()
+        self.index.clear()
+        return old
+
+    # -- introspection --------------------------------------------------------------------
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    def total_bytes(self) -> int:
+        return sum(m.file_size for m in self.tables.values())
+
+    def has_tombstones_possible(self) -> bool:
+        return bool(self.tables)

@@ -1,0 +1,60 @@
+"""LRU cache for decoded data blocks.
+
+Shared by all table readers of one store.  A hit avoids the device read
+entirely, so caching behaviour shows up in the modelled throughput exactly as
+it does in the paper's page-cache / block-cache discussion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.engine.block import Block
+
+
+class BlockCache:
+    """Bounded (by decoded bytes) LRU map from (file, offset) to Block."""
+
+    def __init__(self, capacity_bytes: int = 8 * 1024 * 1024) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[tuple[str, int], tuple[Block, int]] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, file_name: str, offset: int) -> Block | None:
+        entry = self._entries.get((file_name, offset))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((file_name, offset))
+        self.hits += 1
+        return entry[0]
+
+    def put(self, file_name: str, offset: int, block: Block) -> None:
+        key = (file_name, offset)
+        size = block.nbytes
+        if size > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used -= old[1]
+        self._entries[key] = (block, size)
+        self._used += size
+        while self._used > self.capacity_bytes and self._entries:
+            __, (___, evicted_size) = self._entries.popitem(last=False)
+            self._used -= evicted_size
+
+    def evict_file(self, file_name: str) -> None:
+        """Drop all cached blocks of a deleted file."""
+        stale = [k for k in self._entries if k[0] == file_name]
+        for key in stale:
+            __, size = self._entries.pop(key)
+            self._used -= size
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)

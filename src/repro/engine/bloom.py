@@ -1,0 +1,66 @@
+"""Bloom filter (used by the baseline LSM engines only).
+
+UniKV deliberately removes Bloom filters — the hash index covers the
+UnsortedStore, and the fully-sorted SortedStore needs at most one SSTable
+check per lookup.  The baselines (LevelDB/RocksDB/...) keep their standard
+bits-per-key filters, including the paper-relevant false-positive behaviour.
+
+Uses the Kirsch–Mitzenmacher double-hashing scheme over two independent
+64-bit hashes, the construction LevelDB-family filters approximate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from math import ceil, log
+
+
+def _hash_pair(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    return struct.unpack("<QQ", digest)
+
+
+class BloomFilter:
+    """Fixed-size bit array with k probes derived from two hashes."""
+
+    def __init__(self, num_keys: int, bits_per_key: int = 10) -> None:
+        self.bits_per_key = bits_per_key
+        nbits = max(64, num_keys * bits_per_key)
+        self._nbits = nbits
+        self._bits = bytearray((nbits + 7) // 8)
+        # Optimal probe count for the configured density, as in LevelDB.
+        self._k = max(1, min(30, int(round(bits_per_key * log(2)))))
+
+    def add(self, key: bytes) -> None:
+        h1, h2 = _hash_pair(key)
+        for i in range(self._k):
+            bit = (h1 + i * h2) % self._nbits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def may_contain(self, key: bytes) -> bool:
+        h1, h2 = _hash_pair(key)
+        for i in range(self._k):
+            bit = (h1 + i * h2) % self._nbits
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    # -- serialization ---------------------------------------------------------
+
+    def encode(self) -> bytes:
+        return struct.pack("<IB", self._nbits, self._k) + bytes(self._bits)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "BloomFilter":
+        nbits, k = struct.unpack_from("<IB", buf, 0)
+        filt = cls.__new__(cls)
+        filt.bits_per_key = 0
+        filt._nbits = nbits
+        filt._k = k
+        filt._bits = bytearray(buf[5:5 + ceil(nbits / 8)])
+        return filt
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)

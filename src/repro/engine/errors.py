@@ -1,0 +1,26 @@
+"""Exception hierarchy shared by all engines."""
+
+
+class EngineError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class CorruptionError(EngineError):
+    """On-disk data failed a checksum or structural check."""
+
+
+class InvalidArgument(EngineError):
+    """Caller supplied an argument the engine cannot accept."""
+
+
+class CrashPoint(EngineError):
+    """Raised by crash-injection hooks to simulate a process crash.
+
+    Tests register a hook that raises :class:`CrashPoint` at a named point
+    (e.g. ``"merge:after_vlog"``); the store is then abandoned and reopened
+    against a clone of the simulated disk, exercising recovery.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point)
+        self.point = point

@@ -1,0 +1,59 @@
+"""Merging-iterator machinery.
+
+Both compaction and scans need a k-way merge of sorted record streams where
+newer sources shadow older ones.  Sources are plain iterators of
+``(key, kind, value)`` in ascending key order; each is assigned a priority
+(lower = newer).  The merge yields exactly one record per distinct key — the
+one from the newest source — in ascending key order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.engine.keys import KIND_TOMBSTONE
+
+Record = tuple[bytes, int, bytes]
+
+
+def merge_sorted(sources: Iterable[Iterator[Record]],
+                 drop_tombstones: bool = False) -> Iterator[Record]:
+    """Merge sorted record streams, newest-source-wins per key.
+
+    ``sources`` are ordered newest first (index = priority).  With
+    ``drop_tombstones`` the surviving record is suppressed when it is a
+    deletion — used by bottommost compactions and merges into an empty run.
+    """
+    heap: list[tuple[bytes, int, Iterator[Record], int, bytes]] = []
+    for priority, source in enumerate(sources):
+        it = iter(source)
+        first = next(it, None)
+        if first is not None:
+            key, kind, value = first
+            heap.append((key, priority, it, kind, value))
+    heapq.heapify(heap)
+
+    prev_key: bytes | None = None
+    while heap:
+        key, priority, it, kind, value = heapq.heappop(heap)
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], priority, it, nxt[1], nxt[2]))
+        if key == prev_key:
+            continue  # an older version of a key we already emitted
+        prev_key = key
+        if drop_tombstones and kind == KIND_TOMBSTONE:
+            continue
+        yield key, kind, value
+
+
+def clip_range(records: Iterator[Record], lo: bytes | None,
+               hi: bytes | None) -> Iterator[Record]:
+    """Restrict a sorted record stream to lo <= key < hi."""
+    for key, kind, value in records:
+        if lo is not None and key < lo:
+            continue
+        if hi is not None and key >= hi:
+            return
+        yield key, kind, value

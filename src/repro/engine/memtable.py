@@ -1,0 +1,62 @@
+"""In-memory write buffer backed by a skiplist.
+
+Mirrors LevelDB's MemTable: writes (and deletions, as tombstones) are
+inserted into a skiplist; once :attr:`approximate_size` passes the engine's
+threshold the table is frozen and flushed to an on-disk table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.keys import KIND_TOMBSTONE, KIND_VALUE, entry_size
+from repro.engine.skiplist import SkipList
+
+
+class MemTable:
+    """Sorted buffer of (key -> kind, value) with approximate sizing."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._table = SkipList(seed=seed)
+        self._size = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._insert(key, KIND_VALUE, value)
+
+    def delete(self, key: bytes) -> None:
+        self._insert(key, KIND_TOMBSTONE, b"")
+
+    def _insert(self, key: bytes, kind: int, value: bytes) -> None:
+        prior = self._table.get(key)
+        if prior is not None:
+            self._size -= entry_size(key, prior[1])
+        self._table.insert(key, (kind, value))
+        self._size += entry_size(key, value)
+
+    def get(self, key: bytes) -> tuple[int, bytes] | None:
+        """(kind, value) for ``key``, or None if the key is absent.
+
+        A tombstone is a positive answer (``kind == KIND_TOMBSTONE``): the
+        caller must stop searching older data.
+        """
+        return self._table.get(key)
+
+    def entries(self) -> Iterator[tuple[bytes, int, bytes]]:
+        """(key, kind, value) in ascending key order."""
+        for key, (kind, value) in self._table.items():
+            yield key, kind, value
+
+    def entries_from(self, start: bytes) -> Iterator[tuple[bytes, int, bytes]]:
+        for key, (kind, value) in self._table.items_from(start):
+            yield key, kind, value
+
+    @property
+    def approximate_size(self) -> int:
+        """Encoded size of the buffered entries, in bytes."""
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __bool__(self) -> bool:
+        return len(self._table) > 0

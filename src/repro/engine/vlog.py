@@ -1,0 +1,137 @@
+"""Value logs for KV separation.
+
+UniKV's SortedStore (and the WiscKey baseline) store values in append-only
+log files; the sorted key structures store :class:`ValuePointer` records
+instead.  Each log record carries the key alongside the value so garbage
+collection can identify which key a value belongs to (as in WiscKey/UniKV).
+
+Record layout::
+
+    [key length (4B)] [value length (4B)] [crc32 of key+value (4B)] [key] [value]
+
+Pointer layout (matches the paper's <partition, logNumber, offset, length>)::
+
+    [partition (4B)] [log number (4B)] [offset (8B)] [length (4B)]
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.engine.errors import CorruptionError
+from repro.env.storage import SimulatedDisk
+
+_REC_HDR = struct.Struct("<III")
+_PTR = struct.Struct("<IIQI")
+
+
+class ValuePointer:
+    """Location of one value inside a partition's value log."""
+
+    __slots__ = ("partition", "log_number", "offset", "length")
+
+    ENCODED_SIZE = _PTR.size
+
+    def __init__(self, partition: int, log_number: int, offset: int, length: int) -> None:
+        self.partition = partition
+        self.log_number = log_number
+        self.offset = offset
+        self.length = length
+
+    def encode(self) -> bytes:
+        return _PTR.pack(self.partition, self.log_number, self.offset, self.length)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "ValuePointer":
+        if len(buf) != _PTR.size:
+            raise CorruptionError("bad value-pointer size")
+        return cls(*_PTR.unpack(buf))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ValuePointer)
+                and (self.partition, self.log_number, self.offset, self.length)
+                == (other.partition, other.log_number, other.offset, other.length))
+
+    def __hash__(self) -> int:
+        return hash((self.partition, self.log_number, self.offset, self.length))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ValuePointer(p={self.partition}, log={self.log_number}, "
+                f"off={self.offset}, len={self.length})")
+
+
+class VLogWriter:
+    """Appends (key, value) records to a value-log file."""
+
+    def __init__(self, disk: SimulatedDisk, name: str, partition: int,
+                 log_number: int, tag: str) -> None:
+        self._writer = disk.create(name)
+        self._tag = tag
+        self.name = name
+        self.partition = partition
+        self.log_number = log_number
+
+    def append(self, key: bytes, value: bytes) -> ValuePointer:
+        crc = zlib.crc32(key + value)
+        record = _REC_HDR.pack(len(key), len(value), crc) + key + value
+        offset = self._writer.append(record, tag=self._tag)
+        return ValuePointer(self.partition, self.log_number, offset, len(record))
+
+    def size(self) -> int:
+        return self._writer.tell()
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class VLogReader:
+    """Random and sequential access to one value-log file."""
+
+    def __init__(self, disk: SimulatedDisk, name: str) -> None:
+        self._disk = disk
+        self._file = disk.open(name)
+        self.name = name
+
+    def read_value(self, ptr: ValuePointer, tag: str) -> tuple[bytes, bytes]:
+        """(key, value) at ``ptr`` (one random read)."""
+        record = self._file.read(ptr.offset, ptr.length, tag=tag)
+        return self._decode(record, self.name, ptr.offset)
+
+    def scan(self, tag: str) -> Iterator[tuple[bytes, bytes, int, int]]:
+        """All (key, value, offset, record_length), sequential read."""
+        buf = self._disk.read_full(self.name, tag=tag)
+        pos = 0
+        end = len(buf)
+        while pos < end:
+            if pos + _REC_HDR.size > end:
+                raise CorruptionError(f"{self.name}: torn value-log record")
+            klen, vlen, crc = _REC_HDR.unpack_from(buf, pos)
+            total = _REC_HDR.size + klen + vlen
+            if pos + total > end:
+                raise CorruptionError(f"{self.name}: torn value-log record")
+            key = bytes(buf[pos + _REC_HDR.size:pos + _REC_HDR.size + klen])
+            value = bytes(buf[pos + _REC_HDR.size + klen:pos + total])
+            if zlib.crc32(key + value) != crc:
+                raise CorruptionError(f"{self.name}@{pos}: value-log checksum mismatch")
+            yield key, value, pos, total
+            pos += total
+
+    @staticmethod
+    def _decode(record: bytes, name: str, offset: int) -> tuple[bytes, bytes]:
+        if len(record) < _REC_HDR.size:
+            raise CorruptionError(f"{name}@{offset}: short value-log record")
+        klen, vlen, crc = _REC_HDR.unpack_from(record, 0)
+        if _REC_HDR.size + klen + vlen != len(record):
+            raise CorruptionError(f"{name}@{offset}: value-log record length mismatch")
+        key = record[_REC_HDR.size:_REC_HDR.size + klen]
+        value = record[_REC_HDR.size + klen:]
+        if zlib.crc32(key + value) != crc:
+            raise CorruptionError(f"{name}@{offset}: value-log checksum mismatch")
+        return bytes(key), bytes(value)
+
+
+def vlog_record_size(key: bytes, value: bytes) -> int:
+    """On-disk size of one value-log record."""
+    return _REC_HDR.size + len(key) + len(value)

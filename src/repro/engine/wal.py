@@ -1,0 +1,98 @@
+"""Write-ahead log.
+
+Records are length-prefixed and CRC32-protected::
+
+    [crc32 of payload (4B)] [payload length (4B)] [payload]
+
+A payload holds **one or more** encoded (key, kind, value) entries (see
+:mod:`repro.engine.keys`); multi-entry payloads are how atomic write
+batches are made durable — a record is either fully intact (all entries
+replay) or damaged (none of them do).  Replay stops cleanly at a torn or
+corrupt tail — the standard crash-recovery contract: every fully-synced
+record is recovered, a partially written final record is discarded.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.engine.errors import CorruptionError
+from repro.engine.keys import decode_entry, encode_entry
+from repro.env.storage import SequentialWriter, SimulatedDisk
+
+_HDR = struct.Struct("<II")  # crc32, payload length
+
+
+class WalWriter:
+    """Appends (key, kind, value) records to a log file."""
+
+    def __init__(self, disk: SimulatedDisk, name: str, tag: str = "wal",
+                 append: bool = False) -> None:
+        if append:
+            self._writer: SequentialWriter = disk.append_writer(name)
+        else:
+            self._writer = disk.create(name)
+        self._tag = tag
+        self.name = name
+
+    def append(self, key: bytes, kind: int, value: bytes) -> None:
+        self._append_payload(encode_entry(key, kind, value))
+
+    def append_batch(self, entries: list[tuple[bytes, int, bytes]]) -> None:
+        """Durably append several entries as ONE record (atomic unit)."""
+        if not entries:
+            return
+        self._append_payload(b"".join(encode_entry(k, kind, v)
+                                      for k, kind, v in entries))
+
+    def _append_payload(self, payload: bytes) -> None:
+        crc = zlib.crc32(payload)
+        self._writer.append(_HDR.pack(crc, len(payload)) + payload, tag=self._tag)
+
+    def size(self) -> int:
+        return self._writer.tell()
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class WalReader:
+    """Replays a log file, yielding records until EOF or a corrupt tail."""
+
+    def __init__(self, disk: SimulatedDisk, name: str, tag: str = "wal_replay",
+                 strict: bool = False) -> None:
+        self._buf = disk.read_full(name, tag=tag)
+        self._strict = strict
+        self.name = name
+        #: True once replay stopped early because of a damaged record.
+        self.tail_corrupt = False
+
+    def replay(self) -> Iterator[tuple[bytes, int, bytes]]:
+        """Yield (key, kind, value) records in append order."""
+        buf = self._buf
+        pos = 0
+        end = len(buf)
+        while pos + _HDR.size <= end:
+            crc, length = _HDR.unpack_from(buf, pos)
+            body_start = pos + _HDR.size
+            if body_start + length > end:
+                self._damaged("torn record at end of log")
+                return
+            payload = buf[body_start:body_start + length]
+            if zlib.crc32(payload) != crc:
+                self._damaged("CRC mismatch")
+                return
+            offset = 0
+            while offset < len(payload):
+                key, kind, value, offset = decode_entry(payload, offset)
+                yield key, kind, value
+            pos = body_start + length
+        if pos != end:
+            self._damaged("trailing garbage")
+
+    def _damaged(self, reason: str) -> None:
+        if self._strict:
+            raise CorruptionError(f"{self.name}: {reason}")
+        self.tail_corrupt = True

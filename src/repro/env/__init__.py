@@ -1,0 +1,31 @@
+"""Simulated storage environment.
+
+The paper evaluates UniKV on real SSDs with 100 GB datasets.  A pure-Python
+reimplementation cannot produce meaningful wall-clock storage numbers at that
+scale, so every engine in this repository performs its I/O against a
+:class:`SimulatedDisk` — an in-memory file namespace that records each
+operation's byte count and access pattern — and throughput is derived from a
+parametric :class:`DeviceCostModel` applied to those records.  The I/O
+*pattern* each engine produces is real (actual encoded bytes, actual block
+reads), only the device underneath is modelled.
+"""
+
+from repro.env.cost_model import DeviceCostModel, TimeBreakdown
+from repro.env.iostats import IOStats, IORecord
+from repro.env.storage import (
+    FileNotFound,
+    RandomAccessFile,
+    SequentialWriter,
+    SimulatedDisk,
+)
+
+__all__ = [
+    "DeviceCostModel",
+    "TimeBreakdown",
+    "IOStats",
+    "IORecord",
+    "SimulatedDisk",
+    "SequentialWriter",
+    "RandomAccessFile",
+    "FileNotFound",
+]

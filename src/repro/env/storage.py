@@ -1,0 +1,150 @@
+"""In-memory simulated disk with I/O accounting.
+
+The disk is a flat namespace of append-only files (the only write mode any
+log-structured engine needs).  All writes are treated as durable once issued;
+crash injection is performed by cloning the disk at a chosen point
+(:meth:`SimulatedDisk.clone`) and reopening a store against the clone, which
+models "everything synced so far survives, everything after is lost".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.env.iostats import IOStats, RAND, READ, SEQ, WRITE
+
+
+class FileNotFound(KeyError):
+    """Raised when opening or deleting a file that does not exist."""
+
+
+class SimulatedDisk:
+    """A namespace of in-memory files that accounts every I/O operation.
+
+    Files are append-only byte arrays.  Random reads, sequential reads and
+    sequential (append) writes are tagged and recorded in :attr:`stats`.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytearray] = {}
+        self.stats = IOStats()
+
+    # -- namespace -----------------------------------------------------------
+
+    def create(self, name: str) -> "SequentialWriter":
+        """Create (or truncate) a file and return an append-only writer."""
+        self._files[name] = bytearray()
+        return SequentialWriter(self, name)
+
+    def append_writer(self, name: str) -> "SequentialWriter":
+        """Open an existing file for appending (creating it if missing)."""
+        if name not in self._files:
+            self._files[name] = bytearray()
+        return SequentialWriter(self, name)
+
+    def open(self, name: str) -> "RandomAccessFile":
+        if name not in self._files:
+            raise FileNotFound(name)
+        return RandomAccessFile(self, name)
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise FileNotFound(name)
+        del self._files[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def size(self, name: str) -> int:
+        if name not in self._files:
+            raise FileNotFound(name)
+        return len(self._files[name])
+
+    def list(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._files if n.startswith(prefix))
+
+    def rename(self, old: str, new: str) -> None:
+        if old not in self._files:
+            raise FileNotFound(old)
+        self._files[new] = self._files.pop(old)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Space currently occupied by files matching ``prefix``."""
+        return sum(len(b) for n, b in self._files.items() if n.startswith(prefix))
+
+    # -- raw I/O (used by the file handles) ------------------------------------
+
+    def _append(self, name: str, data: bytes, tag: str) -> int:
+        buf = self._files[name]
+        offset = len(buf)
+        buf.extend(data)
+        self.stats.record(WRITE, SEQ, tag, len(data))
+        return offset
+
+    def _read(self, name: str, offset: int, length: int, tag: str,
+              pattern: str = RAND) -> bytes:
+        buf = self._files[name]
+        data = bytes(buf[offset:offset + length])
+        self.stats.record(READ, pattern, tag, len(data))
+        return data
+
+    def read_full(self, name: str, tag: str) -> bytes:
+        """Stream an entire file (accounted as one sequential read)."""
+        if name not in self._files:
+            raise FileNotFound(name)
+        data = bytes(self._files[name])
+        self.stats.record(READ, SEQ, tag, len(data))
+        return data
+
+    # -- crash injection -------------------------------------------------------
+
+    def clone(self) -> "SimulatedDisk":
+        """A deep copy of the current durable state (stats start fresh)."""
+        copy = SimulatedDisk()
+        copy._files = {name: bytearray(buf) for name, buf in self._files.items()}
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedDisk(files={len(self._files)}, bytes={self.total_bytes()})"
+
+
+class SequentialWriter:
+    """Append-only handle to one file."""
+
+    def __init__(self, disk: SimulatedDisk, name: str) -> None:
+        self._disk = disk
+        self.name = name
+        self.closed = False
+
+    def append(self, data: bytes, tag: str) -> int:
+        """Append ``data``; returns the offset at which it was written."""
+        if self.closed:
+            raise ValueError(f"writer for {self.name} is closed")
+        return self._disk._append(self.name, data, tag)
+
+    def tell(self) -> int:
+        return self._disk.size(self.name)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class RandomAccessFile:
+    """Positioned-read handle to one file."""
+
+    def __init__(self, disk: SimulatedDisk, name: str) -> None:
+        self._disk = disk
+        self.name = name
+
+    def read(self, offset: int, length: int, tag: str, pattern: str = RAND) -> bytes:
+        return self._disk._read(self.name, offset, length, tag, pattern)
+
+    def size(self) -> int:
+        return self._disk.size(self.name)
+
+
+def batch_delete(disk: SimulatedDisk, names: Iterable[str]) -> None:
+    """Delete several files, ignoring ones that are already gone."""
+    for name in names:
+        if disk.exists(name):
+            disk.delete(name)

@@ -1,0 +1,333 @@
+"""A PebblesDB-like fragmented LSM (FLSM with guards).
+
+PebblesDB reduces write amplification by never rewriting the next level
+during compaction: a level is divided into *guards* (disjoint key ranges),
+each holding several possibly-overlapping table files; compaction merges a
+source's records, cuts them at guard boundaries and **appends** the fragments
+to the next level's guards.  Overflowing guards cascade downwards; the
+bottommost level consolidates a guard in place, splitting it into new
+single-file guards as data grows.
+
+The costs the paper cares about are preserved: lower write amplification
+than leveled compaction, but reads and scans must examine every file inside
+a guard (mitigated by Bloom filters for point reads, not for scans).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
+
+from repro.engine.block_cache import BlockCache
+from repro.engine.iterators import merge_sorted
+from repro.engine.keys import KIND_TOMBSTONE, KIND_VALUE
+from repro.engine.memtable import MemTable
+from repro.engine.sstable import SSTableBuilder, SSTableReader, TableMeta
+from repro.engine.table_cache import TableCache
+from repro.engine.wal import WalWriter
+from repro.env.storage import SimulatedDisk
+from repro.lsm.base import KVStore, LSMConfig, WriteStallStats
+
+Record = tuple[bytes, int, bytes]
+
+
+class _Guard:
+    """One key range of a level; files may overlap, newest first."""
+
+    __slots__ = ("key", "files")
+
+    def __init__(self, key: bytes) -> None:
+        self.key = key
+        self.files: list[TableMeta] = []
+
+    def bytes(self) -> int:
+        return sum(f.file_size for f in self.files)
+
+
+class PebblesDBStore(KVStore):
+    """Fragmented LSM with guard-based append-only compaction."""
+
+    name = "PebblesDB"
+    #: a guard compacts downward once it holds more files than this
+    max_files_per_guard = 4
+
+    def __init__(self, disk: SimulatedDisk | None = None,
+                 config: LSMConfig | None = None, prefix: str = "") -> None:
+        self._disk = disk if disk is not None else SimulatedDisk()
+        self.config = config if config is not None else LSMConfig()
+        self._prefix = prefix
+        self._cache = BlockCache(self.config.block_cache_bytes)
+        self._tables = TableCache(self._disk, self.config.table_cache_size,
+                                  block_cache=self._cache)
+        self._mem = MemTable(seed=self.config.seed)
+        self._l0: list[TableMeta] = []  # newest first
+        # levels[i] for i >= 1: guards sorted by key; first guard key is b"".
+        self._levels: list[list[_Guard]] = [
+            [_Guard(b"")] for __ in range(self.config.max_levels - 1)
+        ]
+        self._next_file = 0
+        self._next_wal = 0
+        self._wal = self._new_wal()
+        self.stats = WriteStallStats()
+
+    # -- public API ----------------------------------------------------------------
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self._disk
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._wal.append(key, KIND_VALUE, value)
+        self._mem.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self._wal.append(key, KIND_TOMBSTONE, b"")
+        self._mem.delete(key)
+        self._maybe_flush()
+
+    def get(self, key: bytes) -> bytes | None:
+        hit = self._mem.get(key)
+        if hit is not None:
+            kind, value = hit
+            return None if kind == KIND_TOMBSTONE else value
+        for meta in self._l0:
+            if meta.smallest <= key <= meta.largest:
+                found = self._reader(meta.name).get(key, tag="lookup")
+                if found is not None:
+                    kind, value = found
+                    return None if kind == KIND_TOMBSTONE else value
+        for guards in self._levels:
+            guard = guards[self._guard_index(guards, key)]
+            for meta in guard.files:
+                if meta.smallest <= key <= meta.largest:
+                    found = self._reader(meta.name).get(key, tag="lookup")
+                    if found is not None:
+                        kind, value = found
+                        return None if kind == KIND_TOMBSTONE else value
+        return None
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        sources: list[Iterator[Record]] = [self._mem.entries_from(start)]
+        for meta in self._l0:
+            if meta.largest >= start:
+                sources.append(self._reader(meta.name).entries_from(start, tag="scan"))
+        for guards in self._levels:
+            sources.append(self._level_scan(guards, start))
+        out: list[tuple[bytes, bytes]] = []
+        if count <= 0:
+            return out
+        for key, kind, value in merge_sorted(sources):
+            if kind == KIND_TOMBSTONE:
+                continue
+            out.append((key, value))
+            if len(out) >= count:
+                break
+        return out
+
+    def flush(self) -> None:
+        self._flush_memtable()
+
+    # -- write path ------------------------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        if self._mem.approximate_size >= self.config.memtable_size:
+            self._flush_memtable()
+
+    def _flush_memtable(self) -> None:
+        if not self._mem:
+            return
+        builder = self._new_builder(tag="flush")
+        for record in self._mem.entries():
+            builder.add(*record)
+        self._l0.insert(0, builder.finish())
+        self.stats.flushes += 1
+        old_wal = self._wal
+        self._wal = self._new_wal()
+        old_wal.close()
+        self._disk.delete(old_wal.name)
+        self._mem = MemTable(seed=self.config.seed)
+        if len(self._l0) >= self.config.l0_compaction_trigger:
+            self._compact_l0()
+
+    def _new_wal(self) -> WalWriter:
+        name = f"{self._prefix}wal-{self._next_wal:06d}"
+        self._next_wal += 1
+        return WalWriter(self._disk, name, tag="wal")
+
+    def _new_builder(self, tag: str) -> SSTableBuilder:
+        name = f"{self._prefix}sst-{self._next_file:06d}"
+        self._next_file += 1
+        return SSTableBuilder(
+            self._disk, name, tag=tag,
+            block_size=self.config.block_size,
+            bloom_bits_per_key=self.config.bloom_bits_per_key,
+            prefix_compression=self.config.block_prefix_compression,
+        )
+
+    # -- compaction -------------------------------------------------------------------
+
+    def _compact_l0(self) -> None:
+        inputs = list(self._l0)
+        sources = [self._compaction_reader(f.name).entries(tag="compaction")
+                   for f in inputs]
+        merged = merge_sorted(sources, drop_tombstones=self._empty_below(0))
+        self._append_fragments(target_level=0, records=merged,
+                               input_bytes=sum(f.file_size for f in inputs))
+        self._l0 = []
+        for stale in inputs:
+            self._drop_file(stale.name)
+        self._cascade_overflows(0)
+
+    def _compact_guard(self, level_index: int, guard: _Guard) -> None:
+        """Move one overflowing guard's data to the next level (or consolidate)."""
+        inputs = list(guard.files)
+        if not inputs:
+            return
+        sources = [self._compaction_reader(f.name).entries(tag="compaction")
+                   for f in inputs]
+        input_bytes = sum(f.file_size for f in inputs)
+        # The deepest level holding data acts as the bottom: overflowing
+        # guards there consolidate in place and split into new guards,
+        # which is how the FLSM's guard population grows with the dataset.
+        last_level = (level_index == len(self._levels) - 1
+                      or self._empty_below(level_index + 1))
+        if last_level:
+            self._consolidate_guard(level_index, guard, sources, input_bytes)
+        else:
+            merged = merge_sorted(sources, drop_tombstones=self._empty_below(level_index + 1))
+            self._append_fragments(target_level=level_index + 1, records=merged,
+                                   input_bytes=input_bytes)
+            guard.files = []
+            for stale in inputs:
+                self._drop_file(stale.name)
+            self._cascade_overflows(level_index + 1)
+
+    def _consolidate_guard(self, level_index: int, guard: _Guard,
+                           sources: list[Iterator[Record]], input_bytes: int) -> None:
+        """Bottom level: rewrite a guard as single-file guards (tombstones drop)."""
+        outputs: list[TableMeta] = []
+        builder: SSTableBuilder | None = None
+        for record in merge_sorted(sources, drop_tombstones=True):
+            if builder is None:
+                builder = self._new_builder(tag="compaction")
+            builder.add(*record)
+            if builder.estimated_size >= self.config.sstable_size:
+                outputs.append(builder.finish())
+                builder = None
+        if builder is not None and builder.num_entries:
+            outputs.append(builder.finish())
+        stale = list(guard.files)
+        guards = self._levels[level_index]
+        slot = guards.index(guard)
+        replacements: list[_Guard] = []
+        for i, meta in enumerate(outputs):
+            g = _Guard(guard.key if i == 0 else meta.smallest)
+            g.files = [meta]
+            replacements.append(g)
+        if not replacements:
+            replacements = [_Guard(guard.key)]
+        guards[slot:slot + 1] = replacements
+        for f in stale:
+            self._drop_file(f.name)
+        self.stats.compactions += 1
+        self.stats.compaction_input_bytes += input_bytes
+        self.stats.compaction_output_bytes += sum(f.file_size for f in outputs)
+
+    def _append_fragments(self, target_level: int, records: Iterator[Record],
+                          input_bytes: int) -> None:
+        """Cut a merged record stream at guard boundaries of ``target_level``."""
+        guards = self._levels[target_level]
+        boundaries = [g.key for g in guards[1:]]
+        builder: SSTableBuilder | None = None
+        guard_of_builder = 0
+        output_bytes = 0
+
+        def finish() -> None:
+            nonlocal builder, output_bytes
+            if builder is not None and builder.num_entries:
+                meta = builder.finish()
+                guards[guard_of_builder].files.insert(0, meta)
+                output_bytes += meta.file_size
+            builder = None
+
+        # One fragment file per guard (cut at guard boundaries only): this is
+        # what keeps FLSM write amplification low — the next level's existing
+        # files are never rewritten, and each compaction adds at most one
+        # file to any guard.
+        for key, kind, value in records:
+            gi = bisect_right(boundaries, key)
+            if builder is not None and gi != guard_of_builder:
+                finish()
+            if builder is None:
+                builder = self._new_builder(tag="compaction")
+                guard_of_builder = gi
+            builder.add(key, kind, value)
+        finish()
+        self.stats.compactions += 1
+        self.stats.compaction_input_bytes += input_bytes
+        self.stats.compaction_output_bytes += output_bytes
+
+    def _cascade_overflows(self, level_index: int) -> None:
+        for li in range(level_index, len(self._levels)):
+            for guard in list(self._levels[li]):
+                if len(guard.files) > self.max_files_per_guard:
+                    self._compact_guard(li, guard)
+
+    def _empty_below(self, level_index: int) -> bool:
+        """True when nothing lives beneath ``level_index``'s target level."""
+        for guards in self._levels[level_index:]:
+            if any(g.files for g in guards):
+                return False
+        return True
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _level_scan(self, guards: list[_Guard], start: bytes) -> Iterator[Record]:
+        """Lazy in-order iterator over one level.
+
+        Guards are disjoint and sorted, so merging *within* each guard and
+        chaining guards in order yields the level sorted — and only the
+        guard the iterator is currently inside has its files open (the real
+        FLSM iterator advances guard by guard; opening every file of every
+        guard up front would make short scans pay for the whole level).
+        """
+        first = self._guard_index(guards, start)
+        for guard in guards[first:]:
+            sources = [
+                self._reader(meta.name).entries_from(start, tag="scan")
+                for meta in guard.files if meta.largest >= start
+            ]
+            if not sources:
+                continue
+            yield from merge_sorted(sources) if len(sources) > 1 else sources[0]
+
+    @staticmethod
+    def _guard_index(guards: list[_Guard], key: bytes) -> int:
+        boundaries = [g.key for g in guards[1:]]
+        return bisect_right(boundaries, key)
+
+    def _reader(self, name: str) -> SSTableReader:
+        return self._tables.get(name)
+
+    def _compaction_reader(self, name: str) -> SSTableReader:
+        return self._tables.get(name, open_pattern="seq")
+
+    def _drop_file(self, name: str) -> None:
+        self._tables.evict(name)
+        self._cache.evict_file(name)
+        self._disk.delete(name)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def index_memory_bytes(self) -> int:
+        return sum(r.bloom.size_bytes for r in self._tables.open_readers()
+                   if r.bloom is not None)
+
+    def guard_counts(self) -> list[int]:
+        return [len(guards) for guards in self._levels]
+
+    def level_file_counts(self) -> list[int]:
+        counts = [len(self._l0)]
+        counts.extend(sum(len(g.files) for g in guards) for guards in self._levels)
+        return counts

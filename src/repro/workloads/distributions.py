@@ -1,0 +1,107 @@
+"""Key-choice distributions (YCSB-compatible).
+
+The Zipfian generator is the Gray et al. rejection-free construction used
+by YCSB, including the scrambled variant that spreads the hot items across
+the key space (so hot keys are not clustered in one range — important for a
+range-partitioned store).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class UniformChooser:
+    """Uniformly random item in [0, num_items)."""
+
+    def __init__(self, num_items: int, seed: int = 0) -> None:
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        self.num_items = num_items
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.num_items)
+
+
+class ZipfianChooser:
+    """Zipfian over [0, num_items), hottest items first (item 0 hottest)."""
+
+    def __init__(self, num_items: int, theta: float = 0.99, seed: int = 0) -> None:
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.num_items = num_items
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(num_items, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = ((1 - (2.0 / num_items) ** (1 - theta))
+                     / (1 - self._zeta2 / self._zetan))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def grow_to(self, num_items: int) -> None:
+        """Extend the item count incrementally (O(delta), not O(n))."""
+        if num_items <= self.num_items:
+            return
+        for i in range(self.num_items + 1, num_items + 1):
+            self._zetan += 1.0 / (i ** self.theta)
+        self.num_items = num_items
+        self._eta = ((1 - (2.0 / num_items) ** (1 - self.theta))
+                     / (1 - self._zeta2 / self._zetan))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.num_items * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+def fnv1a_64(value: int) -> int:
+    """64-bit FNV-1a over the little-endian bytes of ``value`` (YCSB's hash)."""
+    data = value.to_bytes(8, "little")
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class ScrambledZipfianChooser:
+    """Zipfian popularity, scattered over the key space by hashing."""
+
+    def __init__(self, num_items: int, theta: float = 0.99, seed: int = 0) -> None:
+        self.num_items = num_items
+        self._zipf = ZipfianChooser(num_items, theta, seed)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.num_items
+
+
+class LatestChooser:
+    """YCSB's "latest" distribution: recent inserts are hottest.
+
+    The caller advances :attr:`num_items` as it inserts; choices are
+    Zipfian-distributed distances back from the most recent item.
+    """
+
+    def __init__(self, num_items: int, theta: float = 0.99, seed: int = 0) -> None:
+        self._zipf = ZipfianChooser(num_items, theta, seed)
+
+    @property
+    def num_items(self) -> int:
+        return self._zipf.num_items
+
+    def grow_to(self, num_items: int) -> None:
+        self._zipf.grow_to(num_items)
+
+    def next(self) -> int:
+        return self.num_items - 1 - self._zipf.next()

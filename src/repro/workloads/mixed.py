@@ -1,0 +1,75 @@
+"""Load phases and mixed read/write workloads (the paper's microbenchmarks).
+
+The paper's evaluation loads a dataset in random order, then runs
+read-only, scan, update-only and mixed read/write phases against it; the
+mixed phases sweep the read ratio (10%, 50%, 90%).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.workloads.distributions import ScrambledZipfianChooser, UniformChooser
+from repro.workloads.ycsb import make_key, make_value
+
+Op = tuple
+
+
+def load_phase(num_records: int, value_size: int = 100, order: str = "random",
+               seed: int = 0) -> Iterator[Op]:
+    """Insert ``num_records`` fresh keys, in random or sequential order."""
+    rng = random.Random(seed)
+    ids = list(range(num_records))
+    if order == "random":
+        rng.shuffle(ids)
+    elif order != "sequential":
+        raise ValueError("order must be 'random' or 'sequential'")
+    for key_id in ids:
+        yield ("insert", make_key(key_id), make_value(rng, value_size))
+
+
+def read_phase(num_records: int, num_ops: int, distribution: str = "zipfian",
+               theta: float = 0.99, seed: int = 1) -> Iterator[Op]:
+    """Point lookups over a loaded dataset."""
+    chooser = (UniformChooser(num_records, seed=seed)
+               if distribution == "uniform"
+               else ScrambledZipfianChooser(num_records, theta, seed=seed))
+    for __ in range(num_ops):
+        yield ("read", make_key(chooser.next()))
+
+
+def update_phase(num_records: int, num_ops: int, value_size: int = 100,
+                 distribution: str = "zipfian", theta: float = 0.99,
+                 seed: int = 2) -> Iterator[Op]:
+    """Overwrites of existing keys (GC-exercising)."""
+    rng = random.Random(seed)
+    chooser = (UniformChooser(num_records, seed=seed)
+               if distribution == "uniform"
+               else ScrambledZipfianChooser(num_records, theta, seed=seed))
+    for __ in range(num_ops):
+        yield ("update", make_key(chooser.next()), make_value(rng, value_size))
+
+
+def scan_phase(num_records: int, num_ops: int, scan_length: int = 50,
+               seed: int = 3) -> Iterator[Op]:
+    """seek()+next() range scans of fixed length from random start keys."""
+    chooser = UniformChooser(num_records, seed=seed)
+    for __ in range(num_ops):
+        yield ("scan", make_key(chooser.next()), scan_length)
+
+
+def mixed_read_write(num_records: int, num_ops: int, read_ratio: float,
+                     value_size: int = 100, theta: float = 0.99,
+                     seed: int = 4) -> Iterator[Op]:
+    """The paper's mixed workload at a given read fraction (e.g. 0.1/0.5/0.9)."""
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError("read_ratio must be in [0, 1]")
+    rng = random.Random(seed)
+    chooser = ScrambledZipfianChooser(num_records, theta, seed=seed + 1)
+    for __ in range(num_ops):
+        key = make_key(chooser.next())
+        if rng.random() < read_ratio:
+            yield ("read", key)
+        else:
+            yield ("update", key, make_value(rng, value_size))

@@ -1,0 +1,100 @@
+"""Workload traces: record an op stream to a file and replay it later.
+
+Traces make runs exactly repeatable across machines and make it easy to
+feed production-shaped request logs through the harness.  The format is a
+simple line-oriented text encoding (hex-escaped fields), diff-friendly and
+safe for arbitrary binary keys/values::
+
+    read <key-hex>
+    insert <key-hex> <value-hex>
+    update <key-hex> <value-hex>
+    delete <key-hex>
+    scan <key-hex> <count>
+    rmw <key-hex> <value-hex>
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator
+
+from repro.engine.errors import CorruptionError
+
+Op = tuple
+
+_TWO_FIELD = {"read", "delete"}
+_THREE_FIELD_VALUE = {"insert", "update", "rmw"}
+
+
+def dump_trace(ops: Iterable[Op], fp: io.TextIOBase) -> int:
+    """Write an op stream as trace lines; returns the op count."""
+    count = 0
+    for op in ops:
+        kind = op[0]
+        if kind in _TWO_FIELD:
+            fp.write(f"{kind} {op[1].hex()}\n")
+        elif kind in _THREE_FIELD_VALUE:
+            fp.write(f"{kind} {op[1].hex()} {op[2].hex()}\n")
+        elif kind == "scan":
+            fp.write(f"scan {op[1].hex()} {op[2]}\n")
+        else:
+            raise ValueError(f"cannot encode op kind {kind!r}")
+        count += 1
+    return count
+
+
+def dumps_trace(ops: Iterable[Op]) -> str:
+    buf = io.StringIO()
+    dump_trace(ops, buf)
+    return buf.getvalue()
+
+
+def load_trace(fp: io.TextIOBase) -> Iterator[Op]:
+    """Yield ops from trace lines (inverse of :func:`dump_trace`)."""
+    for line_no, raw in enumerate(fp, start=1):
+        line = raw.rstrip("\n")
+        # Only the newline is stripped: an empty value encodes as a
+        # trailing empty hex field, which full strip() would destroy.
+        if not line.strip() or line.startswith("#"):
+            continue
+        fields = line.split(" ")
+        kind = fields[0]
+        try:
+            if kind in _TWO_FIELD and len(fields) == 2:
+                yield (kind, bytes.fromhex(fields[1]))
+            elif kind in _THREE_FIELD_VALUE and len(fields) == 3:
+                yield (kind, bytes.fromhex(fields[1]), bytes.fromhex(fields[2]))
+            elif kind == "scan" and len(fields) == 3:
+                yield ("scan", bytes.fromhex(fields[1]), int(fields[2]))
+            else:
+                raise ValueError("wrong field count")
+        except ValueError as exc:
+            raise CorruptionError(f"trace line {line_no}: {exc}") from exc
+
+
+def loads_trace(text: str) -> Iterator[Op]:
+    return load_trace(io.StringIO(text))
+
+
+def trace_stats(ops: Iterable[Op]) -> dict:
+    """Summarize a trace: op mix, key cardinality, byte volumes."""
+    counts: dict[str, int] = {}
+    keys: set[bytes] = set()
+    write_bytes = 0
+    scan_entries = 0
+    total = 0
+    for op in ops:
+        counts[op[0]] = counts.get(op[0], 0) + 1
+        keys.add(op[1])
+        if op[0] in _THREE_FIELD_VALUE:
+            write_bytes += len(op[1]) + len(op[2])
+        elif op[0] == "scan":
+            scan_entries += op[2]
+        total += 1
+    return {
+        "ops": total,
+        "mix": counts,
+        "distinct_keys": len(keys),
+        "user_write_bytes": write_bytes,
+        "scan_entries_requested": scan_entries,
+    }

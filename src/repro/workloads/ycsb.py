@@ -1,0 +1,106 @@
+"""YCSB core workloads A–F.
+
+Each workload is a deterministic generator of operation tuples:
+
+* ``("read", key)``
+* ``("update", key, value)`` / ``("insert", key, value)``
+* ``("scan", key, length)``
+* ``("rmw", key, value)``  (read-modify-write, workload F)
+
+Key/operation distributions match the YCSB core package: A 50/50
+read/update Zipfian, B 95/5, C read-only, D read-latest with inserts,
+E scan-heavy with inserts, F read-modify-write.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.distributions import (
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+)
+
+Op = tuple
+
+
+def make_key(key_id: int) -> bytes:
+    """YCSB-style fixed-width key."""
+    return b"user%012d" % key_id
+
+
+def make_value(rng: random.Random, size: int) -> bytes:
+    """Pseudo-random value of the requested size."""
+    return rng.randbytes(size)
+
+
+@dataclass(frozen=True)
+class YCSBWorkload:
+    """Operation mix of one YCSB core workload."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"  # "zipfian" | "uniform" | "latest"
+    max_scan_length: int = 100
+
+
+YCSB_WORKLOADS: dict[str, YCSBWorkload] = {
+    "A": YCSBWorkload("A", read=0.5, update=0.5),
+    "B": YCSBWorkload("B", read=0.95, update=0.05),
+    "C": YCSBWorkload("C", read=1.0),
+    "D": YCSBWorkload("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": YCSBWorkload("E", scan=0.95, insert=0.05),
+    "F": YCSBWorkload("F", read=0.5, rmw=0.5),
+}
+
+
+def ycsb_run(workload: str | YCSBWorkload, num_records: int, num_ops: int,
+             value_size: int = 100, theta: float = 0.99,
+             seed: int = 0) -> Iterator[Op]:
+    """The run phase of a YCSB workload over a pre-loaded dataset.
+
+    ``num_records`` is the loaded record count; inserts append new keys
+    beyond it.
+    """
+    spec = YCSB_WORKLOADS[workload] if isinstance(workload, str) else workload
+    rng = random.Random(seed)
+    if spec.distribution == "latest":
+        chooser = LatestChooser(num_records, theta, seed=seed + 1)
+    elif spec.distribution == "uniform":
+        chooser = UniformChooser(num_records, seed=seed + 1)
+    else:
+        chooser = ScrambledZipfianChooser(num_records, theta, seed=seed + 1)
+    next_insert = num_records
+
+    thresholds = []
+    acc = 0.0
+    for op_name in ("read", "update", "insert", "scan", "rmw"):
+        acc += getattr(spec, op_name)
+        thresholds.append((acc, op_name))
+
+    for __ in range(num_ops):
+        r = rng.random()
+        op_name = next(name for limit, name in thresholds if r < limit or limit == acc)
+        if op_name == "insert":
+            key = make_key(next_insert)
+            next_insert += 1
+            if hasattr(chooser, "grow_to"):
+                chooser.grow_to(next_insert)
+            yield ("insert", key, make_value(rng, value_size))
+            continue
+        key = make_key(chooser.next() % max(next_insert, 1))
+        if op_name == "read":
+            yield ("read", key)
+        elif op_name == "update":
+            yield ("update", key, make_value(rng, value_size))
+        elif op_name == "scan":
+            yield ("scan", key, rng.randint(1, spec.max_scan_length))
+        else:  # rmw
+            yield ("rmw", key, make_value(rng, value_size))

@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.core import UniKVConfig
+
+
+def tiny_unikv_config(**overrides) -> UniKVConfig:
+    """A UniKV config scaled so every structural event (flush, merge,
+    scan-merge, GC, split, checkpoint) occurs within a few thousand small
+    writes."""
+    defaults = dict(
+        memtable_size=512,
+        sstable_size=512,
+        block_size=128,
+        unsorted_limit_bytes=4096,
+        vlog_gc_limit=8 * 1024,
+        partition_size_limit=16 * 1024,
+        scan_merge_limit=3,
+        hash_buckets=2048,
+        index_checkpoint_interval=4,
+        block_cache_bytes=8 * 1024,
+    )
+    defaults.update(overrides)
+    return UniKVConfig(**defaults)
+
+
+@pytest.fixture
+def tiny_config():
+    return tiny_unikv_config()

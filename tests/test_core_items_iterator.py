@@ -1,0 +1,65 @@
+"""Tests for the streaming items() iterator."""
+
+import random
+
+from repro import UniKV
+from tests.conftest import tiny_unikv_config
+
+
+def loaded(n=2500, seed=4):
+    db = UniKV(config=tiny_unikv_config())
+    rng = random.Random(seed)
+    model = {}
+    for __ in range(n):
+        key = f"key-{rng.randrange(300):05d}".encode()
+        if rng.random() < 0.1 and key in model:
+            db.delete(key)
+            del model[key]
+        else:
+            value = rng.randbytes(rng.randrange(4, 50))
+            db.put(key, value)
+            model[key] = value
+    return db, model
+
+
+def test_items_full_iteration_matches_model():
+    db, model = loaded()
+    assert list(db.items()) == sorted(model.items())
+
+
+def test_items_bounded_range():
+    db, model = loaded()
+    lo, hi = b"key-00050", b"key-00200"
+    expected = sorted((k, v) for k, v in model.items() if lo <= k < hi)
+    assert list(db.items(lo, hi)) == expected
+
+
+def test_items_end_before_start_is_empty():
+    db, __ = loaded(n=500)
+    assert list(db.items(b"key-00200", b"key-00100")) == []
+
+
+def test_items_is_lazy():
+    db, model = loaded()
+    it = db.items()
+    first = next(it)
+    assert first == sorted(model.items())[0]
+    # Consuming one element must not have read the whole store.
+    remaining = sum(1 for __ in it)
+    assert remaining == len(model) - 1
+
+
+def test_items_crosses_partitions():
+    db = UniKV(config=tiny_unikv_config())
+    for i in range(2500):
+        db.put(f"key-{i:06d}".encode(), b"v")
+    db.flush()
+    assert db.num_partitions() >= 2
+    keys = [k for k, __ in db.items(b"key-000100", b"key-002400")]
+    assert keys == [f"key-{i:06d}".encode() for i in range(100, 2400)]
+
+
+def test_items_agrees_with_scan():
+    db, __ = loaded()
+    from itertools import islice
+    assert list(islice(db.items(b"key-00100"), 25)) == db.scan(b"key-00100", 25)

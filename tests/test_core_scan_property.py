@@ -1,0 +1,68 @@
+"""Property-based scan testing for UniKV across partitions and layers."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import UniKV
+from tests.conftest import tiny_unikv_config
+
+
+def build_store_and_model(seed, num_ops, key_space, delete_ratio=0.1):
+    db = UniKV(config=tiny_unikv_config())
+    rng = random.Random(seed)
+    model: dict[bytes, bytes] = {}
+    for __ in range(num_ops):
+        key = f"key-{rng.randrange(key_space):05d}".encode()
+        if rng.random() < delete_ratio and key in model:
+            db.delete(key)
+            del model[key]
+        else:
+            value = rng.randbytes(rng.randrange(4, 60))
+            db.put(key, value)
+            model[key] = value
+    return db, model
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000),
+       start_id=st.integers(0, 400),
+       count=st.integers(1, 60))
+def test_scan_matches_model_slice(seed, start_id, count):
+    db, model = build_store_and_model(seed, num_ops=2500, key_space=400)
+    start = f"key-{start_id:05d}".encode()
+    expected = sorted((k, v) for k, v in model.items() if k >= start)[:count]
+    assert db.scan(start, count) == expected
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000))
+def test_scan_keys_strictly_increasing_and_live(seed):
+    db, model = build_store_and_model(seed, num_ops=3000, key_space=300,
+                                      delete_ratio=0.2)
+    got = db.scan(b"", 10_000)
+    keys = [k for k, __ in got]
+    assert keys == sorted(set(keys))           # strictly increasing
+    assert set(keys) == set(model)             # exactly the live set
+    assert dict(got) == model
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000))
+def test_scan_equals_repeated_point_gets(seed):
+    db, model = build_store_and_model(seed, num_ops=2000, key_space=250)
+    for key, value in db.scan(b"key-00100", 40):
+        assert db.get(key) == value == model[key]
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 500), count=st.integers(1, 50))
+def test_scan_consistent_after_recovery(seed, count):
+    db, model = build_store_and_model(seed, num_ops=2500, key_space=300)
+    db2 = UniKV(disk=db.disk.clone(), config=tiny_unikv_config())
+    assert db2.scan(b"key-00050", count) == db.scan(b"key-00050", count)

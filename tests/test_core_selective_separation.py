@@ -1,0 +1,184 @@
+"""Tests for selective KV separation (inline_value_threshold).
+
+The paper proposes differentiating management by KV size: small values are
+cheaper inline (one lookup I/O, no log indirection, no GC traffic) while
+large values still benefit from separation.  This is the
+``inline_value_threshold`` extension.
+"""
+
+import random
+
+import pytest
+
+from repro import UniKV
+from repro.core.gc import run_gc
+from repro.core.merge import merge_partition
+from repro.engine.keys import KIND_VALUE, KIND_VPTR
+from tests.conftest import tiny_unikv_config
+
+
+def hybrid_config(threshold=64, **overrides):
+    return tiny_unikv_config(inline_value_threshold=threshold, **overrides)
+
+
+def hybrid_store(**overrides):
+    return UniKV(config=hybrid_config(**overrides))
+
+
+def load_mixed(db, n=300, small=b"s" * 16, big=b"B" * 200):
+    for i in range(n):
+        value = small if i % 2 == 0 else big
+        db.put(f"key-{i:05d}".encode(), value)
+    db.flush()
+    return {f"key-{i:05d}".encode(): (small if i % 2 == 0 else big)
+            for i in range(n)}
+
+
+def force_merge(db):
+    for p in db.partitions:
+        if p.unsorted.num_tables:
+            merge_partition(db.ctx, p)
+
+
+def test_small_values_stay_inline_after_merge():
+    db = hybrid_store(partition_size_limit=10 ** 9)
+    load_mixed(db)
+    force_merge(db)
+    kinds = {}
+    for key, kind, __ in db.partitions[0].sorted.all_entries(tag="test"):
+        kinds[key] = kind
+    for key in kinds:
+        i = int(key.decode().split("-")[1])
+        expected = KIND_VALUE if i % 2 == 0 else KIND_VPTR
+        assert kinds[key] == expected, key
+
+
+def test_reads_correct_for_both_classes():
+    db = hybrid_store()
+    model = load_mixed(db, n=600)
+    force_merge(db)
+    for key, value in model.items():
+        assert db.get(key) == value
+
+
+def test_inline_read_costs_no_value_log_io():
+    db = hybrid_store(partition_size_limit=10 ** 9)
+    load_mixed(db)
+    force_merge(db)
+    before = db.disk.stats.snapshot()
+    assert db.get(b"key-00100") == b"s" * 16  # even index: inline
+    delta = db.disk.stats.delta_since(before)
+    assert delta.ops_for(op="read", tag="lookup_value") == 0
+
+
+def test_separated_read_still_uses_value_log():
+    db = hybrid_store(partition_size_limit=10 ** 9)
+    load_mixed(db)
+    force_merge(db)
+    before = db.disk.stats.snapshot()
+    assert db.get(b"key-00101") == b"B" * 200  # odd index: separated
+    delta = db.disk.stats.delta_since(before)
+    assert delta.ops_for(op="read", tag="lookup_value") == 1
+
+
+def test_gc_preserves_inline_records():
+    db = hybrid_store(partition_size_limit=10 ** 9)
+    model = load_mixed(db, n=400)
+    force_merge(db)
+    for p in db.partitions:
+        run_gc(db.ctx, p)
+    for key, value in model.items():
+        assert db.get(key) == value
+
+
+def test_gc_reclaims_only_log_garbage():
+    db = hybrid_store(partition_size_limit=10 ** 9)
+    load_mixed(db, n=400)
+    force_merge(db)
+    p = db.partitions[0]
+    # Overwrite the big values -> their old log records become garbage.
+    for i in range(1, 400, 2):
+        db.put(f"key-{i:05d}".encode(), b"N" * 200)
+    db.flush()
+    force_merge(db)
+    before = p.referenced_log_bytes()
+    run_gc(db.ctx, p)
+    assert p.referenced_log_bytes() < before
+    assert p.referenced_log_bytes() == p.sorted.live_value_bytes
+
+
+def test_split_keeps_small_values_inline():
+    db = hybrid_store(partition_size_limit=10 ** 9)
+    model = load_mixed(db, n=800)
+    from repro.core.split import split_partition
+    parts = split_partition(db.ctx, db.partitions[0])
+    assert parts is not None
+    db.partitions[0:1] = parts
+    for key, value in model.items():
+        assert db.get(key) == value
+    for part in parts:
+        for __, kind, payload in part.sorted.all_entries(tag="test"):
+            if kind == KIND_VALUE:
+                assert len(payload) < 64
+
+
+def test_recovery_with_inline_records():
+    db = hybrid_store()
+    model = load_mixed(db, n=700)
+    db2 = UniKV(disk=db.disk.clone(), config=db.config)
+    for key, value in model.items():
+        assert db2.get(key) == value
+
+
+def test_scan_returns_both_classes_in_order():
+    db = hybrid_store()
+    model = load_mixed(db, n=500)
+    force_merge(db)
+    got = db.scan(b"key-00240", 10)
+    expected = sorted((k, v) for k, v in model.items() if k >= b"key-00240")[:10]
+    assert got == expected
+
+
+def test_threshold_zero_separates_everything():
+    db = UniKV(config=tiny_unikv_config(partition_size_limit=10 ** 9))
+    for i in range(200):
+        db.put(f"k{i:04d}".encode(), b"x")  # 1-byte values
+    db.flush()
+    force_merge(db)
+    for __, kind, ___ in db.partitions[0].sorted.all_entries(tag="test"):
+        assert kind == KIND_VPTR
+
+
+def test_threshold_reduces_update_write_amp_for_small_values():
+    def total_writes(threshold):
+        db = UniKV(config=tiny_unikv_config(inline_value_threshold=threshold,
+                                            partition_size_limit=10 ** 9))
+        rng = random.Random(2)
+        for __ in range(4000):
+            db.put(f"k{rng.randrange(300):04d}".encode(), b"v" * 12)
+        db.flush()
+        return db.disk.stats.write_bytes
+
+    # With tiny values, pointer indirection (20B pointers for 12B values)
+    # plus log traffic is pure overhead; inlining must not write more.
+    assert total_writes(threshold=64) <= total_writes(threshold=0) * 1.05
+
+
+def test_model_conformance_under_mixed_sizes():
+    rng = random.Random(13)
+    db = hybrid_store()
+    model = {}
+    for __ in range(4000):
+        key = f"key-{rng.randrange(400):05d}".encode()
+        if rng.random() < 0.08 and key in model:
+            db.delete(key)
+            del model[key]
+        else:
+            size = rng.choice([8, 24, 100, 300])
+            value = rng.randbytes(size)
+            db.put(key, value)
+            model[key] = value
+    db.flush()
+    for key, value in model.items():
+        assert db.get(key) == value
+    assert db.scan(b"", 30) == sorted(model.items())[:30]

@@ -1,0 +1,96 @@
+"""Stateful model checking of UniKV with hypothesis.
+
+A rule-based state machine interleaves puts, deletes, gets, scans,
+explicit flushes and full reopen-from-disk, checking the store against a
+dict model after every step.  This explores orderings the scripted tests
+never produce (e.g. delete → reopen → scan → put on the same key while a
+partition is mid-lifecycle).
+"""
+
+import random
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro import UniKV
+from tests.conftest import tiny_unikv_config
+
+KEYS = st.integers(min_value=0, max_value=120)
+
+
+class UniKVMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.config = tiny_unikv_config()
+        self.db = UniKV(config=self.config)
+        self.model: dict[bytes, bytes] = {}
+        self.rng = random.Random(0)
+
+    @staticmethod
+    def _key(key_id: int) -> bytes:
+        return f"key-{key_id:04d}".encode()
+
+    @rule(key_id=KEYS, size=st.integers(1, 80))
+    def put(self, key_id, size):
+        key = self._key(key_id)
+        value = self.rng.randbytes(size)
+        self.db.put(key, value)
+        self.model[key] = value
+
+    @rule(key_id=KEYS)
+    def delete(self, key_id):
+        key = self._key(key_id)
+        self.db.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key_id=KEYS)
+    def get(self, key_id):
+        key = self._key(key_id)
+        assert self.db.get(key) == self.model.get(key)
+
+    @rule(key_id=KEYS, count=st.integers(1, 15))
+    def scan(self, key_id, count):
+        start = self._key(key_id)
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if k >= start)[:count]
+        assert self.db.scan(start, count) == expected
+
+    @rule(ops=st.lists(st.tuples(KEYS, st.integers(1, 40)),
+                       min_size=1, max_size=10))
+    def batch(self, ops):
+        batch = []
+        for key_id, size in ops:
+            key = self._key(key_id)
+            value = self.rng.randbytes(size)
+            batch.append(("put", key, value))
+            self.model[key] = value
+        self.db.write_batch(batch)
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    @rule()
+    def reopen(self):
+        self.db = UniKV(disk=self.db.disk.clone(), config=self.config)
+
+    @invariant()
+    def partitions_sorted_and_disjoint(self):
+        if not hasattr(self, "db"):
+            return
+        lowers = [p.lower for p in self.db.partitions]
+        assert lowers == sorted(lowers)
+        assert lowers[0] == b""
+
+
+TestUniKVStateMachine = UniKVMachine.TestCase
+TestUniKVStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])

@@ -1,0 +1,114 @@
+"""Corruption fuzzing: a flipped byte must never produce a wrong answer.
+
+Hypothesis flips random bytes in on-disk structures (SSTables, WALs, value
+logs, manifests); every read path must either still return the correct
+value (the flip landed in unread padding or another record's space that a
+checksum covers at access time) or raise
+:class:`~repro.engine.errors.CorruptionError` — silent corruption is the
+one forbidden outcome.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import UniKV
+from repro.engine import SSTableBuilder, SSTableReader, WalReader, WalWriter
+from repro.engine.errors import CorruptionError
+from repro.engine.keys import KIND_VALUE
+from repro.core.manifest import Manifest
+from repro.env import SimulatedDisk
+from tests.conftest import tiny_unikv_config
+
+
+def flip(disk, name, position, bit):
+    buf = bytearray(disk.read_full(name, tag="fuzz"))
+    buf[position % len(buf)] ^= (1 << bit)
+    disk.create(name).append(bytes(buf), tag="fuzz")
+
+
+@settings(max_examples=40, deadline=None)
+@given(position=st.integers(0, 10_000), bit=st.integers(0, 7))
+def test_sstable_never_returns_wrong_value(position, bit):
+    disk = SimulatedDisk()
+    items = [(f"key-{i:03d}".encode(), KIND_VALUE, f"value-{i}".encode())
+             for i in range(120)]
+    builder = SSTableBuilder(disk, "t", tag="flush", block_size=256)
+    for record in items:
+        builder.add(*record)
+    builder.finish()
+    flip(disk, "t", position, bit)
+    try:
+        reader = SSTableReader(disk, "t")
+    except CorruptionError:
+        return  # detected at open: fine
+    for key, __, value in items:
+        try:
+            found = reader.get(key, tag="lookup")
+        except CorruptionError:
+            continue  # detected at read: fine
+        if found is not None:
+            # Whatever survives the checksums must be the true value...
+            assert found == (KIND_VALUE, value)
+        # ...or the flip corrupted index metadata so the key wasn't found;
+        # a miss is only acceptable if the metadata was what got hit, which
+        # we can't distinguish cheaply — but a *wrong value* never is.
+
+
+@settings(max_examples=40, deadline=None)
+@given(position=st.integers(0, 10_000), bit=st.integers(0, 7))
+def test_wal_replay_never_yields_corrupt_records(position, bit):
+    disk = SimulatedDisk()
+    w = WalWriter(disk, "wal")
+    originals = [(f"k{i:03d}".encode(), KIND_VALUE, f"v{i}".encode())
+                 for i in range(80)]
+    for record in originals:
+        w.append(*record)
+    flip(disk, "wal", position, bit)
+    replayed = list(WalReader(disk, "wal").replay())
+    # Replay is a prefix of the original stream: the CRC stops it at the
+    # damaged record, and nothing after (or altered) leaks through.
+    assert replayed == originals[:len(replayed)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(position=st.integers(0, 10_000), bit=st.integers(0, 7))
+def test_manifest_replay_never_yields_corrupt_records(position, bit):
+    disk = SimulatedDisk()
+    m = Manifest(disk)
+    originals = [{"type": "flush", "partition": 0, "table_id": i}
+                 for i in range(60)]
+    for record in originals:
+        m.append(record)
+    flip(disk, "MANIFEST", position, bit)
+    replayed = list(Manifest(disk, create=False).replay())
+    assert replayed == originals[:len(replayed)]
+
+
+@settings(max_examples=15, deadline=None)
+@given(position=st.integers(0, 100_000), bit=st.integers(0, 7),
+       file_index=st.integers(0, 1_000))
+def test_unikv_reads_never_silently_corrupt(position, bit, file_index):
+    db = UniKV(config=tiny_unikv_config())
+    model = {}
+    for i in range(600):
+        key, value = f"key-{i:04d}".encode(), f"value-{i:04d}".encode() * 2
+        db.put(key, value)
+        model[key] = value
+    db.flush()
+    # Flip one byte in one data file (tables or logs).
+    data_files = db.disk.list("sst-") + db.disk.list("vlog-")
+    target = data_files[file_index % len(data_files)]
+    flip(db.disk, target, position, bit)
+    db.ctx._tables._lru.clear()
+    db.ctx._log_readers.clear()
+    db.ctx.cache._entries.clear()
+    wrong = 0
+    for key, value in model.items():
+        try:
+            got = db.get(key)
+        except CorruptionError:
+            continue
+        if got is not None and got != value:
+            wrong += 1
+    assert wrong == 0, "silent corruption leaked through the checksums"

@@ -1,0 +1,70 @@
+"""Unit tests for the MemTable."""
+
+from repro.engine import MemTable
+from repro.engine.keys import KIND_TOMBSTONE, KIND_VALUE, entry_size
+
+
+def test_put_get():
+    mt = MemTable()
+    mt.put(b"k", b"v")
+    assert mt.get(b"k") == (KIND_VALUE, b"v")
+    assert mt.get(b"missing") is None
+
+
+def test_delete_records_tombstone():
+    mt = MemTable()
+    mt.put(b"k", b"v")
+    mt.delete(b"k")
+    kind, value = mt.get(b"k")
+    assert kind == KIND_TOMBSTONE
+    assert value == b""
+
+
+def test_delete_of_absent_key_still_buffered():
+    # A tombstone must be recorded even if the key was never written here:
+    # older on-disk data may hold it.
+    mt = MemTable()
+    mt.delete(b"ghost")
+    assert mt.get(b"ghost")[0] == KIND_TOMBSTONE
+
+
+def test_entries_sorted():
+    mt = MemTable()
+    for key in (b"c", b"a", b"b"):
+        mt.put(key, b"v")
+    assert [k for k, __, ___ in mt.entries()] == [b"a", b"b", b"c"]
+
+
+def test_entries_from():
+    mt = MemTable()
+    for key in (b"a", b"c", b"e"):
+        mt.put(key, b"v")
+    assert [k for k, __, ___ in mt.entries_from(b"b")] == [b"c", b"e"]
+
+
+def test_approximate_size_tracks_overwrites():
+    mt = MemTable()
+    mt.put(b"k", b"12345678")
+    size_one = mt.approximate_size
+    assert size_one == entry_size(b"k", b"12345678")
+    mt.put(b"k", b"12")
+    assert mt.approximate_size == entry_size(b"k", b"12")
+    mt.put(b"j", b"x")
+    assert mt.approximate_size == entry_size(b"k", b"12") + entry_size(b"j", b"x")
+
+
+def test_len_and_bool():
+    mt = MemTable()
+    assert not mt
+    mt.put(b"a", b"")
+    mt.put(b"b", b"")
+    assert len(mt) == 2
+    assert mt
+
+
+def test_overwrite_returns_latest():
+    mt = MemTable()
+    mt.put(b"k", b"v1")
+    mt.put(b"k", b"v2")
+    assert mt.get(b"k") == (KIND_VALUE, b"v2")
+    assert len(mt) == 1

@@ -1,0 +1,85 @@
+"""Unit + property tests for the skiplist."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.skiplist import SkipList
+
+
+def test_insert_and_get():
+    sl = SkipList()
+    sl.insert(b"b", 2)
+    sl.insert(b"a", 1)
+    sl.insert(b"c", 3)
+    assert sl.get(b"a") == 1
+    assert sl.get(b"b") == 2
+    assert sl.get(b"c") == 3
+    assert sl.get(b"d") is None
+    assert sl.get(b"d", default="x") == "x"
+
+
+def test_overwrite_keeps_length():
+    sl = SkipList()
+    sl.insert(b"k", 1)
+    sl.insert(b"k", 2)
+    assert len(sl) == 1
+    assert sl.get(b"k") == 2
+
+
+def test_contains():
+    sl = SkipList()
+    sl.insert(b"x", 0)
+    assert b"x" in sl
+    assert b"y" not in sl
+
+
+def test_items_sorted():
+    sl = SkipList()
+    for key in (b"m", b"a", b"z", b"c"):
+        sl.insert(key, key.decode())
+    assert [k for k, __ in sl.items()] == [b"a", b"c", b"m", b"z"]
+
+
+def test_items_from_seeks_to_lower_bound():
+    sl = SkipList()
+    for key in (b"a", b"c", b"e"):
+        sl.insert(key, None)
+    assert [k for k, __ in sl.items_from(b"b")] == [b"c", b"e"]
+    assert [k for k, __ in sl.items_from(b"c")] == [b"c", b"e"]
+    assert [k for k, __ in sl.items_from(b"f")] == []
+
+
+def test_first_key_and_clear():
+    sl = SkipList()
+    assert sl.first_key() is None
+    sl.insert(b"q", 1)
+    assert sl.first_key() == b"q"
+    sl.clear()
+    assert len(sl) == 0 and sl.first_key() is None
+
+
+def test_empty_iteration():
+    assert list(SkipList().items()) == []
+
+
+@settings(max_examples=50)
+@given(st.dictionaries(st.binary(min_size=1, max_size=8), st.integers(), max_size=200))
+def test_matches_dict_model(model):
+    sl = SkipList()
+    for key, value in model.items():
+        sl.insert(key, value)
+    assert len(sl) == len(model)
+    assert [k for k, __ in sl.items()] == sorted(model)
+    for key, value in model.items():
+        assert sl.get(key) == value
+
+
+@settings(max_examples=25)
+@given(st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=100),
+       st.binary(min_size=1, max_size=6))
+def test_items_from_matches_sorted_slice(keys, start):
+    sl = SkipList()
+    for key in keys:
+        sl.insert(key, None)
+    expected = sorted(k for k in set(keys) if k >= start)
+    assert [k for k, __ in sl.items_from(start)] == expected

@@ -1,0 +1,88 @@
+"""Unit tests for IOStats aggregation and the device cost model."""
+
+import pytest
+
+from repro.env import DeviceCostModel, IOStats
+from repro.env.iostats import RAND, READ, SEQ, WRITE
+
+_MB = 1024 * 1024
+
+
+def test_iostats_delta_and_merge():
+    s = IOStats()
+    s.record(WRITE, SEQ, "a", 100)
+    before = s.snapshot()
+    s.record(WRITE, SEQ, "a", 50)
+    s.record(READ, RAND, "b", 10)
+    d = s.delta_since(before)
+    assert d.bytes_for(tag="a") == 50
+    assert d.bytes_for(tag="b") == 10
+    merged = IOStats()
+    merged.merge(before)
+    merged.merge(d)
+    assert merged.bytes_for(tag="a") == s.bytes_for(tag="a")
+
+
+def test_iostats_reset():
+    s = IOStats()
+    s.record(READ, SEQ, "x", 5)
+    s.reset()
+    assert s.read_bytes == 0 and not s.records
+
+
+def test_seq_write_time_matches_bandwidth():
+    model = DeviceCostModel(seq_write_mb_s=400.0)
+    s = IOStats()
+    s.record(WRITE, SEQ, "flush", 400 * _MB)
+    assert model.seconds(s) == pytest.approx(1.0)
+
+
+def test_seq_read_time_matches_bandwidth():
+    model = DeviceCostModel(seq_read_mb_s=500.0)
+    s = IOStats()
+    s.record(READ, SEQ, "compaction", 500 * _MB)
+    assert model.seconds(s) == pytest.approx(1.0)
+
+
+def test_rand_read_pays_per_op_latency():
+    model = DeviceCostModel(seq_read_mb_s=500.0, rand_read_op_us=80.0)
+    s = IOStats()
+    for _ in range(1000):
+        s.record(READ, RAND, "lookup", 4096)
+    t = model.seconds(s)
+    stream = 1000 * 4096 / (500.0 * _MB)
+    assert t == pytest.approx(stream + 1000 * 80e-6)
+
+
+def test_rand_write_pays_per_op_latency():
+    model = DeviceCostModel(seq_write_mb_s=400.0, rand_write_op_us=100.0)
+    s = IOStats()
+    s.record(WRITE, RAND, "inplace", 4096)
+    assert model.seconds(s) == pytest.approx(4096 / (400.0 * _MB) + 100e-6)
+
+
+def test_parallelism_divides_tag_time():
+    base = DeviceCostModel()
+    par = base.with_parallelism(compaction=4.0)
+    s = IOStats()
+    s.record(WRITE, SEQ, "compaction", 100 * _MB)
+    s.record(WRITE, SEQ, "wal", 100 * _MB)
+    b_base = base.breakdown(s)
+    b_par = par.breakdown(s)
+    assert b_par.tag("compaction") == pytest.approx(b_base.tag("compaction") / 4.0)
+    assert b_par.tag("wal") == pytest.approx(b_base.tag("wal"))
+
+
+def test_with_parallelism_does_not_mutate_original():
+    base = DeviceCostModel()
+    base.with_parallelism(gc=8.0)
+    assert "gc" not in base.parallelism
+
+
+def test_breakdown_total_sums_tags():
+    model = DeviceCostModel()
+    s = IOStats()
+    s.record(WRITE, SEQ, "a", _MB)
+    s.record(READ, RAND, "b", 4096)
+    b = model.breakdown(s)
+    assert b.total == pytest.approx(b.tag("a") + b.tag("b"))

@@ -1,0 +1,119 @@
+"""Unit tests for the simulated disk and its file handles."""
+
+import pytest
+
+from repro.env import FileNotFound, SimulatedDisk
+from repro.env.iostats import RAND, READ, SEQ, WRITE
+
+
+def test_create_write_read_roundtrip():
+    disk = SimulatedDisk()
+    w = disk.create("a.log")
+    off0 = w.append(b"hello", tag="wal")
+    off1 = w.append(b"world", tag="wal")
+    assert (off0, off1) == (0, 5)
+    f = disk.open("a.log")
+    assert f.read(0, 5, tag="lookup") == b"hello"
+    assert f.read(5, 5, tag="lookup") == b"world"
+    assert f.size() == 10
+
+
+def test_create_truncates_existing_file():
+    disk = SimulatedDisk()
+    disk.create("f").append(b"old", tag="t")
+    disk.create("f")
+    assert disk.size("f") == 0
+
+
+def test_append_writer_opens_existing():
+    disk = SimulatedDisk()
+    disk.create("f").append(b"ab", tag="t")
+    w = disk.append_writer("f")
+    assert w.append(b"cd", tag="t") == 2
+    assert disk.read_full("f", tag="t") == b"abcd"
+
+
+def test_append_writer_creates_missing():
+    disk = SimulatedDisk()
+    disk.append_writer("new").append(b"x", tag="t")
+    assert disk.exists("new")
+
+
+def test_open_missing_raises():
+    disk = SimulatedDisk()
+    with pytest.raises(FileNotFound):
+        disk.open("nope")
+
+
+def test_delete_and_exists():
+    disk = SimulatedDisk()
+    disk.create("f")
+    assert disk.exists("f")
+    disk.delete("f")
+    assert not disk.exists("f")
+    with pytest.raises(FileNotFound):
+        disk.delete("f")
+
+
+def test_list_with_prefix_sorted():
+    disk = SimulatedDisk()
+    for name in ("p1/b", "p1/a", "p2/c"):
+        disk.create(name)
+    assert disk.list("p1/") == ["p1/a", "p1/b"]
+    assert disk.list() == ["p1/a", "p1/b", "p2/c"]
+
+
+def test_rename():
+    disk = SimulatedDisk()
+    disk.create("old").append(b"data", tag="t")
+    disk.rename("old", "new")
+    assert not disk.exists("old")
+    assert disk.read_full("new", tag="t") == b"data"
+
+
+def test_total_bytes():
+    disk = SimulatedDisk()
+    disk.create("a/x").append(b"12345", tag="t")
+    disk.create("b/y").append(b"123", tag="t")
+    assert disk.total_bytes() == 8
+    assert disk.total_bytes("a/") == 5
+
+
+def test_read_beyond_end_is_truncated():
+    disk = SimulatedDisk()
+    disk.create("f").append(b"abc", tag="t")
+    assert disk.open("f").read(1, 100, tag="t") == b"bc"
+
+
+def test_closed_writer_rejects_appends():
+    disk = SimulatedDisk()
+    w = disk.create("f")
+    w.close()
+    with pytest.raises(ValueError):
+        w.append(b"x", tag="t")
+
+
+def test_stats_account_patterns_and_tags():
+    disk = SimulatedDisk()
+    disk.create("f").append(b"x" * 100, tag="flush")
+    disk.open("f").read(0, 10, tag="lookup")
+    disk.read_full("f", tag="compaction")
+    s = disk.stats
+    assert s.bytes_for(op=WRITE, pattern=SEQ, tag="flush") == 100
+    assert s.bytes_for(op=READ, pattern=RAND, tag="lookup") == 10
+    assert s.bytes_for(op=READ, pattern=SEQ, tag="compaction") == 100
+    assert s.read_bytes == 110
+    assert s.write_bytes == 100
+    assert s.tags() == {"flush", "lookup", "compaction"}
+
+
+def test_clone_is_independent_and_resets_stats():
+    disk = SimulatedDisk()
+    disk.create("f").append(b"abc", tag="t")
+    copy = disk.clone()
+    disk.append_writer("f").append(b"more", tag="t")
+    assert copy.read_full("f", tag="t") == b"abc"
+    assert copy.stats.write_bytes == 0
+    # mutating the clone does not touch the original
+    copy.create("g")
+    assert not disk.exists("g")

@@ -1,0 +1,180 @@
+"""Tests for key distributions and workload generators."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    YCSB_WORKLOADS,
+    ZipfianChooser,
+    load_phase,
+    make_key,
+    mixed_read_write,
+    scan_phase,
+    update_phase,
+    ycsb_run,
+)
+from repro.workloads.distributions import fnv1a_64
+from repro.workloads.mixed import read_phase
+
+
+# -- distributions ---------------------------------------------------------------
+
+def test_uniform_in_range_and_covers():
+    c = UniformChooser(100, seed=1)
+    samples = [c.next() for __ in range(5000)]
+    assert all(0 <= s < 100 for s in samples)
+    assert len(set(samples)) > 90
+
+
+def test_uniform_rejects_empty():
+    with pytest.raises(ValueError):
+        UniformChooser(0)
+
+
+def test_zipfian_is_skewed_toward_small_ranks():
+    c = ZipfianChooser(1000, theta=0.99, seed=2)
+    samples = [c.next() for __ in range(20000)]
+    counts = Counter(samples)
+    top10 = sum(counts[i] for i in range(10))
+    assert top10 / len(samples) > 0.3  # heavy head
+    assert all(0 <= s < 1000 for s in samples)
+
+
+def test_zipfian_theta_validation():
+    with pytest.raises(ValueError):
+        ZipfianChooser(10, theta=1.5)
+    with pytest.raises(ValueError):
+        ZipfianChooser(0)
+
+
+def test_zipfian_grow_to_matches_fresh_distribution():
+    grown = ZipfianChooser(100, seed=3)
+    grown.grow_to(500)
+    fresh = ZipfianChooser(500, seed=3)
+    assert grown.num_items == fresh.num_items
+    assert math.isclose(grown._zetan, fresh._zetan, rel_tol=1e-9)
+    assert math.isclose(grown._eta, fresh._eta, rel_tol=1e-9)
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    c = ScrambledZipfianChooser(1000, seed=4)
+    samples = [c.next() for __ in range(20000)]
+    hot = [item for item, __ in Counter(samples).most_common(10)]
+    # Hot items should not cluster at the low end of the key space.
+    assert max(hot) > 500
+
+
+def test_latest_chooser_favors_recent():
+    c = LatestChooser(1000, seed=5)
+    samples = [c.next() for __ in range(5000)]
+    recent = sum(1 for s in samples if s >= 900)
+    assert recent / len(samples) > 0.5
+    c.grow_to(2000)
+    assert c.num_items == 2000
+
+
+def test_fnv_hash_is_deterministic():
+    assert fnv1a_64(12345) == fnv1a_64(12345)
+    assert fnv1a_64(1) != fnv1a_64(2)
+
+
+def test_choosers_deterministic_by_seed():
+    a = [ScrambledZipfianChooser(500, seed=9).next() for __ in range(10)]
+    b = [ScrambledZipfianChooser(500, seed=9).next() for __ in range(10)]
+    assert a == b
+
+
+# -- workload generators --------------------------------------------------------------
+
+def test_load_phase_random_covers_all_keys_once():
+    ops = list(load_phase(200, value_size=10, order="random", seed=1))
+    assert len(ops) == 200
+    keys = {op[1] for op in ops}
+    assert keys == {make_key(i) for i in range(200)}
+    assert all(op[0] == "insert" and len(op[2]) == 10 for op in ops)
+
+
+def test_load_phase_sequential_order():
+    ops = list(load_phase(50, order="sequential"))
+    assert [op[1] for op in ops] == [make_key(i) for i in range(50)]
+
+
+def test_load_phase_rejects_bad_order():
+    with pytest.raises(ValueError):
+        list(load_phase(10, order="zigzag"))
+
+
+def test_read_phase_targets_existing_keys():
+    ops = list(read_phase(100, 500))
+    assert all(op[0] == "read" for op in ops)
+    assert all(op[1] in {make_key(i) for i in range(100)} for op in ops)
+
+
+def test_update_phase_value_size():
+    ops = list(update_phase(100, 50, value_size=33))
+    assert all(op[0] == "update" and len(op[2]) == 33 for op in ops)
+
+
+def test_scan_phase_lengths():
+    ops = list(scan_phase(100, 20, scan_length=7))
+    assert all(op[0] == "scan" and op[2] == 7 for op in ops)
+
+
+def test_mixed_read_write_ratio_approximate():
+    ops = list(mixed_read_write(500, 4000, read_ratio=0.9, seed=6))
+    reads = sum(1 for op in ops if op[0] == "read")
+    assert 0.85 < reads / len(ops) < 0.95
+
+
+def test_mixed_rejects_bad_ratio():
+    with pytest.raises(ValueError):
+        list(mixed_read_write(10, 10, read_ratio=1.5))
+
+
+# -- YCSB ---------------------------------------------------------------------------------
+
+def test_ycsb_mixes_sum_to_one():
+    for spec in YCSB_WORKLOADS.values():
+        total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw
+        assert math.isclose(total, 1.0)
+
+
+@pytest.mark.parametrize("workload,expected_op,expected_share", [
+    ("A", "update", 0.5),
+    ("B", "read", 0.95),
+    ("C", "read", 1.0),
+    ("E", "scan", 0.95),
+    ("F", "rmw", 0.5),
+])
+def test_ycsb_op_mix(workload, expected_op, expected_share):
+    ops = list(ycsb_run(workload, 500, 4000, seed=7))
+    share = sum(1 for op in ops if op[0] == expected_op) / len(ops)
+    assert abs(share - expected_share) < 0.05
+
+
+def test_ycsb_d_inserts_fresh_keys_and_reads_recent():
+    ops = list(ycsb_run("D", 500, 4000, seed=8))
+    inserts = [op for op in ops if op[0] == "insert"]
+    assert inserts
+    insert_keys = [op[1] for op in inserts]
+    assert insert_keys == [make_key(500 + i) for i in range(len(inserts))]
+    reads = [op for op in ops if op[0] == "read"]
+    assert len(reads) / len(ops) > 0.9
+
+
+def test_ycsb_scan_lengths_bounded():
+    ops = list(ycsb_run("E", 300, 1000, seed=9))
+    for op in ops:
+        if op[0] == "scan":
+            assert 1 <= op[2] <= YCSB_WORKLOADS["E"].max_scan_length
+
+
+def test_ycsb_deterministic():
+    a = list(ycsb_run("A", 100, 50, seed=10))
+    b = list(ycsb_run("A", 100, 50, seed=10))
+    assert a == b
