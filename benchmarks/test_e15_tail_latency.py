@@ -6,6 +6,8 @@ carries each design's foreground maintenance (compaction cascades for the
 LSMs; merge/GC/split stalls for UniKV).
 """
 
+import dataclasses
+
 from benchmarks.conftest import report
 from repro.bench.experiments import run_e15_tail_latency
 
@@ -23,3 +25,22 @@ def test_e15_tail_latency(benchmark, capsys):
     # UniKV's median read is at least as fast as LevelDB's (unified index).
     assert result.data["UniKV"]["read_p50_us"] <= \
         result.data["LevelDB"]["read_p50_us"] * 1.5
+
+
+def test_e15_tail_latency_background_lanes(benchmark, capsys):
+    """With scheduler lanes the write tail is backpressure, not compaction."""
+    result = benchmark.pedantic(
+        run_e15_tail_latency,
+        kwargs=dict(num_records=4000, ops=4000, background_threads=2),
+        rounds=1, iterations=1)
+    # Persist under a distinct name so the bg=0 table survives alongside.
+    report(capsys, dataclasses.replace(result, experiment="E15bg"))
+    for engine, row in result.data.items():
+        assert row["update_p50_us"] <= row["update_p99_us"] \
+            <= row["update_p999_us"], engine
+    # Backpressure stalls reach the foreground and are visible per phase...
+    assert any(row["stall_ms"] > 0 for row in result.data.values())
+    # ...and in the p99.9 write tail, which now carries the stall events.
+    for engine, row in result.data.items():
+        if row["stall_ms"] > 0:
+            assert row["update_p999_us"] > row["update_p50_us"], engine

@@ -6,7 +6,12 @@ write/read amplification, index memory) and formatted tables.
 """
 
 from repro.bench.metrics import RunMetrics
-from repro.bench.report import format_series, format_table
+from repro.bench.report import (
+    format_runtime_table,
+    format_series,
+    format_table,
+    runtime_row,
+)
 from repro.bench.runner import effective_cost_model, execute_ops, run_workload
 
 __all__ = [
@@ -16,4 +21,6 @@ __all__ = [
     "effective_cost_model",
     "format_table",
     "format_series",
+    "format_runtime_table",
+    "runtime_row",
 ]

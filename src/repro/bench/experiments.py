@@ -496,16 +496,19 @@ def run_e14_gc_comparison(num_records: int = 3000, updates: int = 9000,
 
 def run_e15_tail_latency(engines=("LevelDB", "RocksDB", "UniKV"),
                          num_records: int = 4000, ops: int = 4000,
-                         value_size: int = 512) -> ExperimentResult:
+                         value_size: int = 512,
+                         background_threads: int = 0) -> ExperimentResult:
     """Modelled per-op latency percentiles: where foreground stalls live.
 
     Median latencies are memtable/cache hits for everyone; the tails are
     each design's maintenance stalls (compaction cascades for the LSMs,
-    merge/GC/split for UniKV).
+    merge/GC/split for UniKV).  With ``background_threads >= 1`` the
+    maintenance runs on scheduler lanes instead and the tail becomes the
+    scheduler's slowdown/stop backpressure stalls.
     """
     rows = []
     for name in engines:
-        store = make_engine(name)
+        store = make_engine(name, background_threads=background_threads)
         run_workload(store, load_phase(num_records, value_size), phase="load")
         metrics = run_workload(
             store, mixed_read_write(num_records, ops, 0.5, value_size),
@@ -515,10 +518,58 @@ def run_e15_tail_latency(engines=("LevelDB", "RocksDB", "UniKV"),
             for pct, label in ((50, "p50"), (99, "p99"), (99.9, "p999")):
                 row[f"{op_kind}_{label}_us"] = round(
                     metrics.latency_us(op_kind, pct), 1)
+        row["stall_ms"] = round(metrics.stall_seconds * 1000, 2)
         rows.append(row)
-    text = format_table("E15 tail latency, 50/50 mixed (modelled us)", rows)
+    title = "E15 tail latency, 50/50 mixed (modelled us)"
+    if background_threads:
+        title += f" [bg={background_threads}]"
+    text = format_table(title, rows)
     return ExperimentResult("E15", "tail latency", text,
                             {row["engine"]: row for row in rows})
+
+
+# ---------------------------------------------------------------------------
+# E16 — background maintenance overlap: scheduler lanes vs synchronous
+# ---------------------------------------------------------------------------
+
+def run_e16_background_overlap(engines=("LevelDB", "RocksDB", "PebblesDB",
+                                        "UniKV"),
+                               num_records: int = 4000, updates: int = 6000,
+                               value_size: int = 512,
+                               background_threads: int = 2) -> ExperimentResult:
+    """Maintenance-scheduler overlap: each engine at bg=0 vs bg=N.
+
+    On-disk state is identical in both modes (jobs run at the same
+    trigger points); what changes is the device-time accounting — with
+    background lanes, maintenance overlaps the foreground and throughput
+    rises until the backpressure thresholds push stall time back into the
+    foreground path.
+    """
+    rows = []
+    for name in engines:
+        for bg in (0, background_threads):
+            store = make_engine(name, background_threads=bg)
+            load = run_workload(store, load_phase(num_records, value_size),
+                                phase="load")
+            update = run_workload(
+                store, update_phase(num_records, updates, value_size),
+                phase="update")
+            stats = store.scheduler.stats
+            rows.append({
+                "engine": name,
+                "bg": bg,
+                "load_kops": round(load.throughput_kops, 2),
+                "update_kops": round(update.throughput_kops, 2),
+                "write_amp": round(update.write_amplification, 2),
+                "stall_ms": round(stats.stall_seconds * 1000, 2),
+                "stalls": stats.stall_events,
+                "queue_hw": stats.queue_depth_high_water,
+                "jobs": sum(stats.job_counts.values()),
+            })
+    text = format_table(
+        f"E16 background overlap (bg=0 vs bg={background_threads})", rows)
+    data = {f"{row['engine']}/bg{row['bg']}": row for row in rows}
+    return ExperimentResult("E16", "background overlap", text, data)
 
 
 ALL_EXPERIMENTS = {
@@ -538,4 +589,5 @@ ALL_EXPERIMENTS = {
     "E13": run_e13_ablations,
     "E14": run_e14_gc_comparison,
     "E15": run_e15_tail_latency,
+    "E16": run_e16_background_overlap,
 }

@@ -58,6 +58,16 @@ class RunMetrics:
             return 0.0
         return self.io.read_ops / self.num_ops
 
+    @property
+    def stall_seconds(self) -> float:
+        """Backpressure stall time injected into this phase's foreground."""
+        return self.breakdown.stall_seconds
+
+    @property
+    def background_seconds(self) -> float:
+        """Device time this phase's maintenance spent on background lanes."""
+        return self.breakdown.background_seconds
+
     def latency_us(self, op_kind: str, percentile: float) -> float:
         """Modelled per-op latency percentile in microseconds.
 
@@ -83,4 +93,5 @@ class RunMetrics:
             "dev_write_MB": round(self.device_write_bytes / 1048576, 2),
             "dev_read_MB": round(self.device_read_bytes / 1048576, 2),
             "index_KB": round(self.index_memory_bytes / 1024, 1),
+            "stall_ms": round(self.stall_seconds * 1000, 2),
         }

@@ -14,18 +14,31 @@ from repro.lsm.base import KVStore
 DEFAULT_CPU_US_PER_OP = 2.0
 
 
+def _overlapped_scheduler(store: KVStore):
+    """The store's maintenance scheduler, if it runs background lanes."""
+    scheduler = getattr(store, "scheduler", None)
+    if scheduler is not None and scheduler.overlapped:
+        return scheduler
+    return None
+
+
 def effective_cost_model(store: KVStore, base: DeviceCostModel) -> DeviceCostModel:
     """Apply an engine's background/parallel I/O behaviour to the model.
 
     * ``compaction_parallelism`` (RocksDB's multi-threaded compaction)
-      divides the ``compaction`` tag's time;
+      divides the ``compaction`` tag's time — only while the store's
+      maintenance scheduler is synchronous; with background lanes the
+      scheduler models the overlap explicitly and the blanket divisor
+      would double-count it;
     * ``config.scan_parallelism`` (UniKV's 32-thread value fetch pool +
-      readahead) divides the ``scan_value`` tag's time.
+      readahead) divides the ``scan_value`` tag's time — a foreground
+      read-path property, applied in every mode.
     """
     model = base
-    compaction = getattr(store, "compaction_parallelism", None)
-    if compaction:
-        model = model.with_parallelism(compaction=float(compaction))
+    if _overlapped_scheduler(store) is None:
+        compaction = getattr(store, "compaction_parallelism", None)
+        if compaction:
+            model = model.with_parallelism(compaction=float(compaction))
     config = getattr(store, "config", None)
     scan_par = getattr(config, "scan_parallelism", None)
     if scan_par:
@@ -69,35 +82,72 @@ def run_workload(store: KVStore, ops: Iterable[tuple], phase: str = "run",
     delta of the disk's counters), so load / read / update phases can be
     measured independently on one store instance.
 
+    When the store's maintenance scheduler runs background lanes, phase
+    time is foreground-only: maintenance I/O the scheduler attributed to
+    the background is subtracted from the phase delta, and the stall
+    seconds backpressure injected during the phase are added instead
+    (``RunMetrics.io`` keeps the *full* delta so write amplification still
+    counts every background byte).
+
     With ``collect_latencies`` every operation's modelled time is recorded
     individually (per op kind), enabling tail-latency analysis
-    (:meth:`RunMetrics.latency_us`); this includes the foreground stalls of
-    any flush/merge/GC/split the op triggered, which is where tail latency
-    comes from in these designs.
+    (:meth:`RunMetrics.latency_us`); in synchronous mode this includes the
+    foreground cost of any flush/merge/GC/split the op triggered, in
+    overlapped mode it includes the op's backpressure stalls — either way,
+    where tail latency comes from in these designs.
     """
     base = cost_model if cost_model is not None else DeviceCostModel()
     model = effective_cost_model(store, base)
-    before = store.disk.stats.snapshot()
+    scheduler = _overlapped_scheduler(store)
+    if scheduler is not None:
+        # Background job durations and the virtual clock use the plain
+        # device model: a background lane is one device-time stream.
+        scheduler.cost_model = base
+    stats = store.disk.stats
+    before = stats.snapshot()
+    bg_before = (scheduler.background_io.snapshot()
+                 if scheduler is not None else None)
+    stall_before = scheduler.stats.stall_seconds if scheduler is not None else 0.0
     latencies: dict[str, list[float]] = {}
     if collect_latencies:
         num_ops = 0
         user_write_bytes = 0
         cursor = before
+        bg_cursor = bg_before
+        stall_cursor = stall_before
         for op in ops:
             n, written = execute_ops(store, [op])
             num_ops += n
             user_write_bytes += written
-            now = store.disk.stats.snapshot()
-            op_seconds = (model.seconds(now.delta_since(cursor))
+            now = stats.snapshot()
+            op_delta = now.delta_since(cursor)
+            op_stall = 0.0
+            if scheduler is not None:
+                bg_now = scheduler.background_io.snapshot()
+                op_delta = op_delta.delta_since(bg_now.delta_since(bg_cursor))
+                op_stall = scheduler.stats.stall_seconds - stall_cursor
+                bg_cursor = bg_now
+                stall_cursor = scheduler.stats.stall_seconds
+            op_seconds = (model.seconds(op_delta) + op_stall
                           + cpu_us_per_op * 1e-6)
             latencies.setdefault(op[0], []).append(op_seconds)
             cursor = now
-        delta = store.disk.stats.delta_since(before)
     else:
         num_ops, user_write_bytes = execute_ops(store, ops)
-        delta = store.disk.stats.delta_since(before)
-    breakdown = model.breakdown(delta)
+    delta = stats.delta_since(before)
+    if scheduler is not None:
+        bg_delta = scheduler.background_io.snapshot().delta_since(bg_before)
+        breakdown = model.breakdown(delta.delta_since(bg_delta))
+        breakdown.background_seconds = base.seconds(bg_delta)
+        breakdown.stall_seconds = scheduler.stats.stall_seconds - stall_before
+    else:
+        breakdown = model.breakdown(delta)
     seconds = breakdown.total + num_ops * cpu_us_per_op * 1e-6
+    extra = {}
+    if scheduler is not None:
+        extra["background_threads"] = scheduler.background_threads
+        extra["queue_depth_high_water"] = scheduler.stats.queue_depth_high_water
+        extra["background_backlog_seconds"] = scheduler.backlog_seconds()
     return RunMetrics(
         engine=store.name,
         phase=phase,
@@ -107,5 +157,6 @@ def run_workload(store: KVStore, ops: Iterable[tuple], phase: str = "run",
         breakdown=breakdown,
         io=delta,
         index_memory_bytes=store.index_memory_bytes(),
+        extra=extra,
         latencies=latencies,
     )

@@ -70,6 +70,18 @@ class UniKVConfig:
     #: disable the WAL (benchmark option; recovery tests keep it on)
     wal_enabled: bool = True
 
+    # -- maintenance scheduler (repro.runtime) --------------------------------------------
+    #: background lanes for maintenance device time (flush/merge/GC/
+    #: scan-merge/split); 0 = synchronous foreground maintenance (the
+    #: paper-calibrated default, bit-identical to the pre-scheduler code)
+    background_threads: int = 0
+    #: in-flight background jobs at which foreground writes slow down
+    slowdown_trigger: int = 4
+    #: in-flight background jobs at which the foreground stalls until drain
+    stop_trigger: int = 8
+    #: per-excess-job foreground penalty while slowed down
+    slowdown_penalty_us: float = 200.0
+
     # -- misc ---------------------------------------------------------------------------
     #: LevelDB-style shared-prefix key encoding inside data blocks
     #: (shrinks the key-dense SortedStore tables; off by default so the
@@ -93,3 +105,7 @@ class UniKVConfig:
             raise ValueError("hash_buckets must exceed hash_functions")
         if self.partition_size_limit <= 0:
             raise ValueError("partition_size_limit must be positive")
+        if self.background_threads < 0:
+            raise ValueError("background_threads must be >= 0")
+        if not 1 <= self.slowdown_trigger <= self.stop_trigger:
+            raise ValueError("need 1 <= slowdown_trigger <= stop_trigger")

@@ -16,6 +16,7 @@ from repro.engine.vlog import VLogReader
 from repro.core.config import UniKVConfig
 from repro.core.manifest import Manifest
 from repro.env.storage import SimulatedDisk
+from repro.runtime.scheduler import MaintenanceScheduler
 
 
 @dataclass
@@ -56,6 +57,14 @@ class StoreContext:
         self._log_readers: dict[int, VLogReader] = {}
         #: test hook: called with a point name at each crash-injection site
         self.crash_hook = None
+        #: maintenance jobs (flush/merge/GC/scan-merge/split) run through here
+        self.scheduler = MaintenanceScheduler(
+            disk,
+            background_threads=config.background_threads,
+            slowdown_trigger=config.slowdown_trigger,
+            stop_trigger=config.stop_trigger,
+            slowdown_penalty_us=config.slowdown_penalty_us,
+        )
 
     # -- crash injection -------------------------------------------------------------
 
@@ -98,6 +107,10 @@ class StoreContext:
             reader = VLogReader(self.disk, self.log_name(log_number))
             self._log_readers[log_number] = reader
         return reader
+
+    def table_metadata_bytes(self) -> int:
+        """Resident metadata bytes of every open table (see TableCache)."""
+        return self._tables.metadata_bytes()
 
     def drop_table(self, name: str) -> None:
         self._tables.evict(name)

@@ -147,6 +147,7 @@ def recover_store(store, disk: SimulatedDisk) -> None:
         _rebuild_hash_index(ctx, partition, checkpoints.get(pid))
         partitions.append(partition)
     store.partitions = partitions
+    store._rebuild_boundaries()
     store._checkpoints = {
         pid: ckpt for pid, ckpt in checkpoints.items()
         if any(p.id == pid for p in partitions)

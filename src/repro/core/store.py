@@ -4,8 +4,11 @@ Ties together the unified-indexing design: a store-level memtable + WAL in
 front of range partitions, each holding a hash-indexed UnsortedStore over an
 append-only table list (hot data, inline values) and a fully-sorted,
 KV-separated SortedStore (cold data).  Writes are absorbed by flushes;
-merges (partial KV separation), GC, scan-merges and range splits run as
-foreground maintenance after flushes, exactly when their triggers fire.
+merges (partial KV separation), GC, scan-merges and range splits are
+submitted as jobs to the store's maintenance scheduler
+(:mod:`repro.runtime`) exactly when their triggers fire — synchronous
+foreground work by default, overlapped background device time with
+write-stall backpressure when ``config.background_threads >= 1``.
 
 Typical use::
 
@@ -41,6 +44,7 @@ from repro.core.partition import Partition
 from repro.core.split import split_partition
 from repro.env.storage import SimulatedDisk
 from repro.lsm.base import KVStore
+from repro.runtime.scheduler import Job
 
 Record = tuple[bytes, int, bytes]
 
@@ -65,6 +69,7 @@ class UniKV(KVStore):
         self.ctx = StoreContext(disk, self.config, Manifest(disk))
         first = Partition(self.ctx, self.ctx.alloc_partition_id(), b"")
         self.partitions: list[Partition] = [first]
+        self._rebuild_boundaries()
         self.ctx.manifest.append({"type": "init", "partition": first.id, "lower": ""})
         self._next_wal = 0
         self._next_ckpt = 0
@@ -82,6 +87,10 @@ class UniKV(KVStore):
     @property
     def stats(self):
         return self.ctx.stats
+
+    @property
+    def scheduler(self):
+        return self.ctx.scheduler
 
     def put(self, key: bytes, value: bytes) -> None:
         partition = self._partition_for(key)
@@ -194,14 +203,23 @@ class UniKV(KVStore):
         """Flush every partition's memtable and run triggered maintenance."""
         for partition in list(self.partitions):
             if partition in self.partitions:  # may have been split away
-                self._flush_partition(partition)
+                self._submit_flush(partition, lambda p=partition: bool(p.mem))
         self._maybe_split()
 
     # -- routing -----------------------------------------------------------------------
 
+    def _rebuild_boundaries(self) -> None:
+        # Cached split points for _partition_index; rebuilt only when the
+        # partition list changes (splits, recovery) — not per operation.
+        self._boundaries = [p.lower for p in self.partitions[1:]]
+
     def _partition_index(self, key: bytes) -> int:
-        boundaries = [p.lower for p in self.partitions[1:]]
-        return bisect_right(boundaries, key)
+        # Every partition-list change in this codebase changes its length
+        # (splits replace one partition with two), so a length mismatch is
+        # a complete staleness check and keeps routing O(log P) per op.
+        if len(self._boundaries) != len(self.partitions) - 1:
+            self._rebuild_boundaries()
+        return bisect_right(self._boundaries, key)
 
     def _partition_for(self, key: bytes) -> Partition:
         return self.partitions[self._partition_index(key)]
@@ -209,9 +227,16 @@ class UniKV(KVStore):
     # -- write path ---------------------------------------------------------------------
 
     def _maybe_flush(self, partition: Partition) -> None:
-        if partition.mem.approximate_size >= self.config.memtable_size:
-            self._flush_partition(partition)
+        job = self._submit_flush(
+            partition,
+            lambda: partition.mem.approximate_size >= self.config.memtable_size)
+        if job.ran:
             self._maybe_split()
+
+    def _submit_flush(self, partition: Partition, trigger) -> Job:
+        return self.ctx.scheduler.submit(Job(
+            kind="flush", tag="flush", trigger=trigger,
+            fn=lambda: self._flush_partition(partition)))
 
     def _flush_partition(self, partition: Partition) -> None:
         """Flush one partition's memtable into its UnsortedStore."""
@@ -259,12 +284,21 @@ class UniKV(KVStore):
     # -- maintenance -----------------------------------------------------------------------
 
     def _run_partition_maintenance(self, partition: Partition) -> None:
-        if partition.needs_merge():
-            merge_partition(self.ctx, partition)
-            if partition.needs_gc():
-                run_gc(self.ctx, partition)
-        elif partition.unsorted.needs_scan_merge():
-            self._scan_merge(partition)
+        scheduler = self.ctx.scheduler
+        merge_job = scheduler.submit(Job(
+            kind="merge", tag="merge", priority=1,
+            trigger=partition.needs_merge,
+            fn=lambda: merge_partition(self.ctx, partition)))
+        if merge_job.ran:
+            scheduler.submit(Job(
+                kind="gc", tag="gc", priority=2,
+                trigger=partition.needs_gc,
+                fn=lambda: run_gc(self.ctx, partition)))
+        else:
+            scheduler.submit(Job(
+                kind="scan_merge", tag="scan_merge", priority=2,
+                trigger=partition.unsorted.needs_scan_merge,
+                fn=lambda: self._scan_merge(partition)))
 
     def _scan_merge(self, partition: Partition) -> None:
         """Size-based merge of the UnsortedStore into one sorted table."""
@@ -288,12 +322,15 @@ class UniKV(KVStore):
         while changed:
             changed = False
             for pi, partition in enumerate(self.partitions):
-                if not partition.needs_split():
+                job = self.ctx.scheduler.submit(Job(
+                    kind="split", tag="split", priority=1,
+                    trigger=partition.needs_split,
+                    fn=lambda p=partition: split_partition(self.ctx, p)))
+                if not job.ran or job.result is None:
                     continue
-                parts = split_partition(self.ctx, partition)
-                if parts is None:
-                    continue
+                parts = job.result
                 self.partitions[pi:pi + 1] = parts
+                self._rebuild_boundaries()
                 self._drop_checkpoint(partition.id)
                 # Retire the old partition's WAL (its memtable was folded
                 # into the split output) and start fresh WALs for the halves.
@@ -370,15 +407,12 @@ class UniKV(KVStore):
         reports that budget so the memory-overhead experiments can weigh it
         against the baselines' filter memory.
         """
-        total = 0
-        for reader in self.ctx._tables.open_readers():
-            total += sum(len(k) + 12 for k in reader._block_last_keys)
-            total += len(reader.smallest) + len(reader.largest) + 24
-        return total
+        return self.ctx.table_metadata_bytes()
 
     def describe(self) -> dict:
         return {
             "partitions": [p.describe() for p in self.partitions],
             "stats": self.ctx.stats.as_dict(),
             "index_memory_bytes": self.index_memory_bytes(),
+            "runtime": self.ctx.scheduler.describe(),
         }

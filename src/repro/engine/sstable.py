@@ -205,6 +205,12 @@ class SSTableReader:
     def num_blocks(self) -> int:
         return len(self._block_locs)
 
+    def metadata_bytes(self) -> int:
+        """Resident metadata footprint: per-block separator keys (each with
+        an offset/length slot) plus the table's key bounds and counters."""
+        total = sum(len(key) + 12 for key in self._block_last_keys)
+        return total + len(self.smallest) + len(self.largest) + 24
+
     def _read_block(self, block_index: int, tag: str, pattern: str = "rand") -> Block:
         off, length = self._block_locs[block_index]
         if self._cache is not None:

@@ -55,6 +55,10 @@ class TableCache:
     def open_readers(self):
         return list(self._lru.values())
 
+    def metadata_bytes(self) -> int:
+        """Total resident metadata bytes across the open readers."""
+        return sum(reader.metadata_bytes() for reader in self._lru.values())
+
     def evict(self, name: str) -> None:
         self._lru.pop(name, None)
 

@@ -27,13 +27,26 @@ _MB = 1024 * 1024
 
 @dataclass
 class TimeBreakdown:
-    """Modelled time split by tag, in seconds."""
+    """Modelled time split by tag, in seconds.
+
+    ``by_tag`` holds foreground device time.  When a store runs its
+    maintenance scheduler in overlapped mode the runner additionally fills
+    ``stall_seconds`` (backpressure stalls injected into the foreground —
+    part of the phase's elapsed time) and ``background_seconds`` (device
+    time spent on background lanes — overlapped, informational only).
+    """
 
     by_tag: dict[str, float] = field(default_factory=dict)
+    stall_seconds: float = 0.0
+    background_seconds: float = 0.0
+
+    @property
+    def foreground(self) -> float:
+        return sum(self.by_tag.values())
 
     @property
     def total(self) -> float:
-        return sum(self.by_tag.values())
+        return self.foreground + self.stall_seconds
 
     def tag(self, tag: str) -> float:
         return self.by_tag.get(tag, 0.0)

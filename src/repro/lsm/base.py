@@ -5,9 +5,12 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from repro.env.storage import SimulatedDisk
+from repro.runtime.scheduler import WriteStallStats
 
 _KB = 1024
 _MB = 1024 * 1024
+
+__all__ = ["KVStore", "LSMConfig", "WriteStallStats"]
 
 
 class KVStore(abc.ABC):
@@ -99,26 +102,17 @@ class LSMConfig:
     #: LevelDB-style shared-prefix key encoding inside data blocks
     block_prefix_compression: bool = False
 
+    # -- maintenance scheduler (repro.runtime) ---------------------------------
+    #: background lanes for maintenance device time; 0 = synchronous
+    #: foreground maintenance (the pre-scheduler behaviour, bit-identical)
+    background_threads: int = 0
+    #: in-flight background jobs at which foreground writes slow down
+    slowdown_trigger: int = 4
+    #: in-flight background jobs at which the foreground stalls until drain
+    stop_trigger: int = 8
+    #: per-excess-job foreground penalty while slowed down
+    slowdown_penalty_us: float = 200.0
+
     def level_target_bytes(self, level: int) -> int:
         """Size target of level ``level`` (level >= 1)."""
         return self.base_level_bytes * self.level_size_multiplier ** (level - 1)
-
-
-@dataclass
-class WriteStallStats:
-    """Bookkeeping for stall-like behaviour (kept for reporting)."""
-
-    flushes: int = 0
-    compactions: int = 0
-    compaction_input_bytes: int = 0
-    compaction_output_bytes: int = 0
-    gc_runs: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "flushes": self.flushes,
-            "compactions": self.compactions,
-            "compaction_input_bytes": self.compaction_input_bytes,
-            "compaction_output_bytes": self.compaction_output_bytes,
-            "gc_runs": self.gc_runs,
-        }

@@ -27,6 +27,7 @@ from repro.env.storage import SimulatedDisk
 from repro.core.manifest import Manifest, meta_from_json, meta_to_json
 from repro.lsm.base import KVStore, LSMConfig, WriteStallStats
 from repro.lsm.version import LevelState
+from repro.runtime.scheduler import Job, MaintenanceScheduler
 
 Record = tuple[bytes, int, bytes]
 
@@ -39,7 +40,8 @@ class LevelDBStore(KVStore):
     compaction_pick = "round_robin"
 
     def __init__(self, disk: SimulatedDisk | None = None,
-                 config: LSMConfig | None = None, prefix: str = "") -> None:
+                 config: LSMConfig | None = None, prefix: str = "",
+                 scheduler: MaintenanceScheduler | None = None) -> None:
         self._disk = disk if disk is not None else SimulatedDisk()
         self.config = config if config is not None else LSMConfig()
         self._prefix = prefix
@@ -51,6 +53,16 @@ class LevelDBStore(KVStore):
         self._next_file = 0
         self._next_wal = 0
         self.stats = WriteStallStats()
+        # A scheduler may be shared by an embedding store (WiscKey embeds a
+        # LevelDBStore as its index) so one backpressure state governs both.
+        self.scheduler = scheduler if scheduler is not None else \
+            MaintenanceScheduler(
+                self._disk,
+                background_threads=self.config.background_threads,
+                slowdown_trigger=self.config.slowdown_trigger,
+                stop_trigger=self.config.stop_trigger,
+                slowdown_penalty_us=self.config.slowdown_penalty_us,
+                stats=self.stats)
         #: per-table access counters for the motivation experiment (E2);
         #: populated only while `record_accesses` is True
         self.record_accesses = False
@@ -133,13 +145,17 @@ class LevelDBStore(KVStore):
         return out
 
     def flush(self) -> None:
-        self._flush_memtable()
+        self.scheduler.submit(Job(
+            kind="flush", tag="flush", trigger=lambda: bool(self._mem),
+            fn=self._flush_memtable))
 
     # -- write path ---------------------------------------------------------------
 
     def _maybe_flush(self) -> None:
-        if self._mem.approximate_size >= self.config.memtable_size:
-            self._flush_memtable()
+        self.scheduler.submit(Job(
+            kind="flush", tag="flush",
+            trigger=lambda: self._mem.approximate_size >= self.config.memtable_size,
+            fn=self._flush_memtable))
 
     def _flush_memtable(self) -> None:
         if not self._mem:
@@ -182,12 +198,16 @@ class LevelDBStore(KVStore):
     def _maybe_compact(self) -> None:
         while True:
             if len(self._state.levels[0]) >= self.config.l0_compaction_trigger:
-                self._compact_l0()
+                self.scheduler.submit(Job(
+                    kind="compaction", tag="compaction", priority=1,
+                    fn=self._compact_l0))
                 continue
             level = self._pick_overfull_level()
             if level is None:
                 return
-            self._compact_level(level)
+            self.scheduler.submit(Job(
+                kind="compaction", tag="compaction", priority=1,
+                fn=lambda lvl=level: self._compact_level(lvl)))
 
     def _pick_overfull_level(self) -> int | None:
         for level in range(1, self._state.max_levels - 1):

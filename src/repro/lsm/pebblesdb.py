@@ -27,6 +27,7 @@ from repro.engine.table_cache import TableCache
 from repro.engine.wal import WalWriter
 from repro.env.storage import SimulatedDisk
 from repro.lsm.base import KVStore, LSMConfig, WriteStallStats
+from repro.runtime.scheduler import Job, MaintenanceScheduler
 
 Record = tuple[bytes, int, bytes]
 
@@ -69,6 +70,13 @@ class PebblesDBStore(KVStore):
         self._next_wal = 0
         self._wal = self._new_wal()
         self.stats = WriteStallStats()
+        self.scheduler = MaintenanceScheduler(
+            self._disk,
+            background_threads=self.config.background_threads,
+            slowdown_trigger=self.config.slowdown_trigger,
+            stop_trigger=self.config.stop_trigger,
+            slowdown_penalty_us=self.config.slowdown_penalty_us,
+            stats=self.stats)
 
     # -- public API ----------------------------------------------------------------
 
@@ -126,13 +134,17 @@ class PebblesDBStore(KVStore):
         return out
 
     def flush(self) -> None:
-        self._flush_memtable()
+        self.scheduler.submit(Job(
+            kind="flush", tag="flush", trigger=lambda: bool(self._mem),
+            fn=self._flush_memtable))
 
     # -- write path ------------------------------------------------------------------
 
     def _maybe_flush(self) -> None:
-        if self._mem.approximate_size >= self.config.memtable_size:
-            self._flush_memtable()
+        self.scheduler.submit(Job(
+            kind="flush", tag="flush",
+            trigger=lambda: self._mem.approximate_size >= self.config.memtable_size,
+            fn=self._flush_memtable))
 
     def _flush_memtable(self) -> None:
         if not self._mem:
@@ -147,8 +159,10 @@ class PebblesDBStore(KVStore):
         old_wal.close()
         self._disk.delete(old_wal.name)
         self._mem = MemTable(seed=self.config.seed)
-        if len(self._l0) >= self.config.l0_compaction_trigger:
-            self._compact_l0()
+        self.scheduler.submit(Job(
+            kind="compaction", tag="compaction", priority=1,
+            trigger=lambda: len(self._l0) >= self.config.l0_compaction_trigger,
+            fn=self._compact_l0))
 
     def _new_wal(self) -> WalWriter:
         name = f"{self._prefix}wal-{self._next_wal:06d}"
@@ -271,8 +285,11 @@ class PebblesDBStore(KVStore):
     def _cascade_overflows(self, level_index: int) -> None:
         for li in range(level_index, len(self._levels)):
             for guard in list(self._levels[li]):
-                if len(guard.files) > self.max_files_per_guard:
-                    self._compact_guard(li, guard)
+                self.scheduler.submit(Job(
+                    kind="compaction", tag="compaction", priority=1,
+                    trigger=lambda g=guard:
+                        len(g.files) > self.max_files_per_guard,
+                    fn=lambda lvl=li, g=guard: self._compact_guard(lvl, g)))
 
     def _empty_below(self, level_index: int) -> bool:
         """True when nothing lives beneath ``level_index``'s target level."""

@@ -26,9 +26,12 @@ class RocksDBStore(LevelDBStore):
     """Leveled LSM tuned like RocksDB."""
 
     name = "RocksDB"
-    #: the bench harness divides this store's compaction time by this factor
+    #: in synchronous scheduler mode (background_threads=0) the bench
+    #: harness divides this store's compaction time by this factor
     #: (multi-threaded compaction overlaps device time only partially — a
-    #: load saturates sequential bandwidth regardless of thread count)
+    #: load saturates sequential bandwidth regardless of thread count).
+    #: With background_threads >= 1 the maintenance scheduler models the
+    #: overlap explicitly and this calibrated divisor is not applied.
     compaction_parallelism = 2.0
 
     def __init__(self, disk: SimulatedDisk | None = None,

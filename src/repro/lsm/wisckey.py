@@ -16,8 +16,9 @@ from dataclasses import dataclass, replace
 
 from repro.engine.vlog import ValuePointer, VLogReader, VLogWriter
 from repro.env.storage import SimulatedDisk
-from repro.lsm.base import KVStore, LSMConfig
+from repro.lsm.base import KVStore, LSMConfig, WriteStallStats
 from repro.lsm.leveldb import LevelDBStore
+from repro.runtime.scheduler import Job, MaintenanceScheduler
 
 _KB = 1024
 
@@ -45,9 +46,20 @@ class WiscKeyStore(KVStore):
         self._disk = disk if disk is not None else SimulatedDisk()
         self.config = config if config is not None else WiscKeyConfig()
         self._prefix = prefix
+        self.stats = WriteStallStats()
+        # One scheduler (and thus one backpressure state) for the value-log
+        # GC and the embedded index LSM's flush/compaction jobs.
+        self.scheduler = MaintenanceScheduler(
+            self._disk,
+            background_threads=self.config.background_threads,
+            slowdown_trigger=self.config.slowdown_trigger,
+            stop_trigger=self.config.stop_trigger,
+            slowdown_penalty_us=self.config.slowdown_penalty_us,
+            stats=self.stats)
         index_config = replace(self.config, wal_enabled=False)
         self._index = LevelDBStore(self._disk, config=index_config,
-                                   prefix=f"{prefix}idx-")
+                                   prefix=f"{prefix}idx-",
+                                   scheduler=self.scheduler)
         self._segments: list[int] = []  # log numbers, oldest first
         self._next_log = 0
         self._head: VLogWriter | None = None
@@ -127,8 +139,14 @@ class WiscKeyStore(KVStore):
         # almost all live, relocations keep the log near its limit and an
         # unbounded loop would spin.
         budget = len(self._segments)
-        while self.vlog_bytes() > low and len(self._segments) > 1 and budget > 0:
-            self._gc_tail_segment()
+        while budget > 0:
+            job = self.scheduler.submit(Job(
+                kind="gc", tag="gc", priority=2,
+                trigger=lambda: (self.vlog_bytes() > low
+                                 and len(self._segments) > 1),
+                fn=self._gc_tail_segment))
+            if not job.ran:
+                break
             budget -= 1
 
     def _gc_tail_segment(self) -> None:

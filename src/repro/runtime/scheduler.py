@@ -1,0 +1,227 @@
+"""Unified maintenance scheduler: jobs, a virtual clock, and write stalls.
+
+Every engine's maintenance actions (flush, UnsortedStore merge, GC,
+scan-merge, split, compaction) are wrapped in :class:`Job` objects and
+submitted here instead of being executed ad hoc inline.
+
+The simulation is single-writer and the data structures are not thread
+safe, so a job's *state change* always happens immediately at submit time —
+on-disk state, crash-injection order and recovery semantics are therefore
+bit-identical at every ``background_threads`` setting.  What the scheduler
+virtualizes is the *device-time accounting*:
+
+* ``background_threads=0`` (synchronous, the default): a job's I/O stays in
+  the foreground counters and is charged to the submitting operation, which
+  reproduces the pre-scheduler foreground behaviour exactly.
+* ``background_threads=N``: the job's I/O is moved into a background
+  accumulator and its modelled duration is placed on the earliest-free of
+  ``N`` background lanes of a virtual clock.  Foreground time no longer
+  pays for the job — unless backpressure fires: when the number of
+  still-running background jobs reaches ``slowdown_trigger`` the submitting
+  foreground op is charged a per-job penalty (RocksDB's delayed writes),
+  and at ``stop_trigger`` the foreground stalls until enough lanes drain
+  (RocksDB's write stop).  Stall seconds advance the foreground clock, so
+  sustained over-submission converges to device-bound throughput instead of
+  modelling a free infinite queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.env.cost_model import DeviceCostModel
+from repro.env.iostats import IOStats
+from repro.env.storage import SimulatedDisk
+
+
+@dataclass
+class WriteStallStats:
+    """Maintenance bookkeeping: legacy per-engine counters plus the
+    scheduler's job and stall accounting.
+
+    One instance is shared between an engine (which bumps the legacy
+    ``flushes``/``compactions``/... counters from its job bodies, as it
+    always has) and the engine's scheduler (which fills in the job/stall
+    fields), so reports read one object.
+    """
+
+    flushes: int = 0
+    compactions: int = 0
+    compaction_input_bytes: int = 0
+    compaction_output_bytes: int = 0
+    gc_runs: int = 0
+    #: foreground seconds injected by slowdown/stop backpressure
+    stall_seconds: float = 0.0
+    stall_events: int = 0
+    #: most background jobs ever simultaneously in flight
+    queue_depth_high_water: int = 0
+    #: executed jobs per job kind ("flush", "merge", "compaction", ...)
+    job_counts: dict[str, int] = field(default_factory=dict)
+    #: modelled device seconds per job kind
+    job_seconds: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+            "compaction_input_bytes": self.compaction_input_bytes,
+            "compaction_output_bytes": self.compaction_output_bytes,
+            "gc_runs": self.gc_runs,
+            "stall_seconds": self.stall_seconds,
+            "stall_events": self.stall_events,
+            "queue_depth_high_water": self.queue_depth_high_water,
+            "job_counts": dict(self.job_counts),
+            "job_seconds": dict(self.job_seconds),
+        }
+
+
+@dataclass
+class Job:
+    """One schedulable maintenance action.
+
+    ``fn`` performs the state change (and may submit nested jobs — e.g. a
+    flush whose trigger cascade merges); ``trigger`` is re-evaluated at
+    submit time and must be free of I/O accounting side effects (the
+    predicates used here only consult in-memory state and ``disk.size()``,
+    which records nothing).  ``tag`` names the I/O purpose for reports;
+    ``priority`` ranks jobs (0 highest) — with state changes applied at
+    submit time it is bookkeeping, kept so an async drain order is already
+    expressible.
+    """
+
+    kind: str
+    fn: Callable[[], Any]
+    trigger: Callable[[], bool] | None = None
+    priority: int = 0
+    tag: str | None = None
+    #: filled in by the scheduler
+    ran: bool = False
+    result: Any = None
+    duration_seconds: float = 0.0
+
+
+class MaintenanceScheduler:
+    """Per-store scheduler: runs jobs, virtualizes their device time."""
+
+    def __init__(self, disk: SimulatedDisk, background_threads: int = 0,
+                 cost_model: DeviceCostModel | None = None,
+                 slowdown_trigger: int = 4, stop_trigger: int = 8,
+                 slowdown_penalty_us: float = 200.0,
+                 stats: WriteStallStats | None = None) -> None:
+        self._disk = disk
+        self.background_threads = int(background_threads)
+        self.cost_model = cost_model if cost_model is not None else DeviceCostModel()
+        self.slowdown_trigger = slowdown_trigger
+        self.stop_trigger = stop_trigger
+        self.slowdown_penalty_us = slowdown_penalty_us
+        self.stats = stats if stats is not None else WriteStallStats()
+        #: I/O already attributed to background lanes (subtracted from the
+        #: disk totals to obtain the foreground-only counters)
+        self.background_io = IOStats()
+        self._lanes: list[float] = [0.0] * max(0, self.background_threads)
+        self._inflight: list[float] = []  # heap of virtual job-end times
+
+    # -- mode ---------------------------------------------------------------------
+
+    @property
+    def synchronous(self) -> bool:
+        return self.background_threads <= 0
+
+    @property
+    def overlapped(self) -> bool:
+        return self.background_threads > 0
+
+    # -- virtual clock ------------------------------------------------------------
+
+    def foreground_clock(self) -> float:
+        """Virtual now: foreground device seconds + accumulated stalls."""
+        fg = self._disk.stats.delta_since(self.background_io)
+        return self.cost_model.seconds(fg) + self.stats.stall_seconds
+
+    def backlog_seconds(self) -> float:
+        """How far the busiest background lane runs past the clock."""
+        if not self._lanes:
+            return 0.0
+        return max(0.0, max(self._lanes) - self.foreground_clock())
+
+    def queue_depth(self) -> int:
+        """Background jobs still running at the current virtual clock."""
+        self._prune_finished(self.foreground_clock())
+        return len(self._inflight)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Run ``job`` now (if its trigger holds) and account its time.
+
+        Returns the job with ``ran``/``result``/``duration_seconds`` filled
+        in, so call sites can chain on the outcome (e.g. GC only after a
+        merge actually ran).  Exceptions from ``fn`` propagate — crash
+        injection relies on that.
+        """
+        if job.trigger is not None and not job.trigger():
+            return job
+        before = self._disk.stats.snapshot()
+        nested_before = self.background_io.snapshot()
+        job.result = job.fn()
+        job.ran = True
+        raw = self._disk.stats.delta_since(before)
+        # I/O that nested job submissions already attributed to the
+        # background is not this job's own traffic.
+        nested = self.background_io.delta_since(nested_before)
+        own = raw.delta_since(nested)
+        job.duration_seconds = self.cost_model.seconds(own)
+        self.stats.job_counts[job.kind] = self.stats.job_counts.get(job.kind, 0) + 1
+        self.stats.job_seconds[job.kind] = (
+            self.stats.job_seconds.get(job.kind, 0.0) + job.duration_seconds)
+        if self.overlapped:
+            self._account_background(job, own)
+        return job
+
+    # -- overlap accounting ----------------------------------------------------------
+
+    def _account_background(self, job: Job, own: IOStats) -> None:
+        self.background_io.merge(own)
+        clock = self.foreground_clock()
+        lane = min(range(len(self._lanes)), key=self._lanes.__getitem__)
+        start = max(clock, self._lanes[lane])
+        end = start + job.duration_seconds
+        self._lanes[lane] = end
+        heapq.heappush(self._inflight, end)
+        self._apply_backpressure(clock)
+
+    def _prune_finished(self, clock: float) -> None:
+        while self._inflight and self._inflight[0] <= clock:
+            heapq.heappop(self._inflight)
+
+    def _apply_backpressure(self, clock: float) -> None:
+        self._prune_finished(clock)
+        depth = len(self._inflight)
+        if depth > self.stats.queue_depth_high_water:
+            self.stats.queue_depth_high_water = depth
+        stall = 0.0
+        if depth >= self.stop_trigger:
+            # Write stop: the foreground waits until enough background jobs
+            # finish; the clock jumps to the relevant job-end time.
+            target = clock
+            while len(self._inflight) >= self.stop_trigger:
+                target = heapq.heappop(self._inflight)
+            stall = max(0.0, target - clock)
+        elif depth >= self.slowdown_trigger:
+            # Delayed write: a fixed penalty per excess in-flight job.
+            excess = depth - self.slowdown_trigger + 1
+            stall = excess * self.slowdown_penalty_us * 1e-6
+        if stall > 0.0:
+            self.stats.stall_seconds += stall
+            self.stats.stall_events += 1
+
+    # -- introspection ----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        out = self.stats.as_dict()
+        out["background_threads"] = self.background_threads
+        out["queue_depth"] = self.queue_depth()
+        out["backlog_seconds"] = self.backlog_seconds()
+        return out

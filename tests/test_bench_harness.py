@@ -4,7 +4,6 @@ import pytest
 
 from repro import LevelDBStore, RocksDBStore, UniKV
 from repro.bench import (
-    RunMetrics,
     effective_cost_model,
     execute_ops,
     format_series,
@@ -125,7 +124,7 @@ def test_experiment_registry_is_complete():
     from repro.bench.experiments import ALL_EXPERIMENTS
     assert set(ALL_EXPERIMENTS) == {
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-        "E9", "E10", "E11", "E11b", "E12", "E13", "E14", "E15",
+        "E9", "E10", "E11", "E11b", "E12", "E13", "E14", "E15", "E16",
     }
 
 

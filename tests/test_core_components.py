@@ -1,6 +1,5 @@
 """Component-level tests: merge, GC, split, and partition invariants."""
 
-import pytest
 
 from repro import UniKV
 from repro.core.gc import run_gc

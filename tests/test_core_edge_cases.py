@@ -6,7 +6,6 @@ import pytest
 from repro import UniKV
 from repro.core.merge import merge_partition
 from repro.engine.errors import CorruptionError
-from tests.conftest import tiny_unikv_config
 
 
 def test_empty_store_operations(tiny_config):

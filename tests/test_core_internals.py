@@ -3,14 +3,13 @@ bookkeeping, the shared-log registry, and partition trigger logic."""
 
 import pytest
 
-from repro.core.config import UniKVConfig
 from repro.core.context import StoreContext
 from repro.core.manifest import Manifest
 from repro.core.partition import Partition
 from repro.core.sorted_store import SortedStore
 from repro.engine.errors import CorruptionError
-from repro.engine.keys import KIND_VALUE, KIND_VPTR
-from repro.engine.sstable import SSTableBuilder, TableMeta
+from repro.engine.keys import KIND_VPTR
+from repro.engine.sstable import SSTableBuilder
 from repro.engine.vlog import VLogWriter
 from repro.env import SimulatedDisk
 from tests.conftest import tiny_unikv_config

@@ -8,7 +8,6 @@ large values still benefit from separation.  This is the
 
 import random
 
-import pytest
 
 from repro import UniKV
 from repro.core.gc import run_gc

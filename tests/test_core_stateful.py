@@ -12,7 +12,6 @@ import random
 from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     initialize,
     invariant,

@@ -8,7 +8,6 @@ checksum covers at access time) or raise
 one forbidden outcome.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ import pytest
 from repro.lsm import (
     HyperLevelDBStore,
     LevelDBStore,
-    LSMConfig,
     PebblesDBStore,
     RocksDBStore,
 )

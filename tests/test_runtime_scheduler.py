@@ -1,0 +1,186 @@
+"""Unit tests for the maintenance-scheduler runtime (repro.runtime)."""
+
+import pytest
+
+from repro.env.cost_model import DeviceCostModel
+from repro.env.iostats import IOStats
+from repro.env.storage import SimulatedDisk
+from repro.runtime import Job, MaintenanceScheduler, WriteStallStats
+
+
+def write_bytes(disk, name, n, tag):
+    writer = disk.create(name) if not disk.exists(name) else disk.append_writer(name)
+    writer.append(b"x" * n, tag=tag)
+    writer.close()
+
+
+def make_scheduler(**kwargs):
+    disk = SimulatedDisk()
+    kwargs.setdefault("cost_model", DeviceCostModel())
+    return disk, MaintenanceScheduler(disk, **kwargs)
+
+
+# -- job execution semantics --------------------------------------------------------
+
+
+def test_jobs_execute_immediately_at_submit():
+    __, scheduler = make_scheduler(background_threads=0)
+    ran = []
+    job = scheduler.submit(Job(kind="flush", fn=lambda: ran.append(1) or "r"))
+    assert job.ran and job.result == "r" and ran == [1]
+
+
+def test_trigger_false_skips_job():
+    __, scheduler = make_scheduler(background_threads=2)
+    job = scheduler.submit(Job(kind="merge", fn=lambda: 1 / 0,
+                               trigger=lambda: False))
+    assert not job.ran and job.result is None
+    assert scheduler.stats.job_counts == {}
+
+
+def test_job_exceptions_propagate():
+    """Crash injection raises inside job bodies; submit must not swallow."""
+    __, scheduler = make_scheduler(background_threads=2)
+    with pytest.raises(ZeroDivisionError):
+        scheduler.submit(Job(kind="gc", fn=lambda: 1 / 0))
+
+
+def test_job_counts_and_durations_recorded():
+    disk, scheduler = make_scheduler(background_threads=0)
+    scheduler.submit(Job(kind="flush",
+                         fn=lambda: write_bytes(disk, "f", 4096, "flush")))
+    scheduler.submit(Job(kind="flush",
+                         fn=lambda: write_bytes(disk, "f", 4096, "flush")))
+    assert scheduler.stats.job_counts == {"flush": 2}
+    assert scheduler.stats.job_seconds["flush"] > 0
+
+
+# -- synchronous mode ---------------------------------------------------------------
+
+
+def test_synchronous_mode_leaves_foreground_io_untouched():
+    disk, scheduler = make_scheduler(background_threads=0)
+    assert scheduler.synchronous and not scheduler.overlapped
+    scheduler.submit(Job(kind="flush",
+                         fn=lambda: write_bytes(disk, "f", 8192, "flush")))
+    # Nothing is attributed to the background: the phase delta a runner
+    # computes is identical to the pre-scheduler foreground accounting.
+    assert scheduler.background_io.records == {}
+    assert scheduler.stats.stall_seconds == 0.0
+    assert scheduler.stats.queue_depth_high_water == 0
+
+
+# -- overlapped mode ---------------------------------------------------------------
+
+
+def test_overlapped_mode_moves_job_io_to_background():
+    disk, scheduler = make_scheduler(background_threads=2)
+    scheduler.submit(Job(kind="compaction",
+                         fn=lambda: write_bytes(disk, "c", 8192, "compaction")))
+    assert scheduler.background_io.bytes_for(tag="compaction") == 8192
+    fg = disk.stats.delta_since(scheduler.background_io)
+    assert fg.bytes_for(tag="compaction") == 0
+
+
+def test_nested_jobs_not_double_counted():
+    disk, scheduler = make_scheduler(background_threads=2)
+
+    def flush_then_merge():
+        write_bytes(disk, "f", 1000, "flush")
+        scheduler.submit(Job(
+            kind="merge", fn=lambda: write_bytes(disk, "m", 3000, "merge")))
+
+    outer = scheduler.submit(Job(kind="flush", fn=flush_then_merge))
+    # The outer job's own duration covers only its own 1000 bytes; the
+    # nested merge's 3000 bytes were attributed when the inner job ran.
+    assert scheduler.background_io.bytes_for(tag="flush") == 1000
+    assert scheduler.background_io.bytes_for(tag="merge") == 3000
+    model = scheduler.cost_model
+    expected = model.seconds(
+        scheduler.background_io.delta_since(IOStats()))
+    total = sum(scheduler.stats.job_seconds.values())
+    assert total == pytest.approx(expected)
+    assert outer.duration_seconds < total
+
+
+def test_lanes_overlap_durations():
+    disk, scheduler = make_scheduler(background_threads=2)
+    for i in range(2):
+        scheduler.submit(Job(
+            kind="compaction",
+            fn=lambda i=i: write_bytes(disk, f"c{i}", 40960, "compaction")))
+    # Two lanes: both jobs run concurrently from clock 0; the backlog is
+    # one job's duration, not two.
+    one = scheduler.stats.job_seconds["compaction"] / 2
+    assert scheduler.backlog_seconds() == pytest.approx(one)
+    assert scheduler.stats.queue_depth_high_water == 2
+
+
+def test_single_lane_serializes_durations():
+    disk, scheduler = make_scheduler(background_threads=1, stop_trigger=100,
+                                     slowdown_trigger=100)
+    for i in range(3):
+        scheduler.submit(Job(
+            kind="compaction",
+            fn=lambda i=i: write_bytes(disk, f"c{i}", 40960, "compaction")))
+    total = scheduler.stats.job_seconds["compaction"]
+    assert scheduler.backlog_seconds() == pytest.approx(total)
+
+
+def test_slowdown_injects_penalty_stalls():
+    # Penalty kept far below one job's device time so accumulated stalls
+    # never advance the clock past an in-flight job's end (deterministic
+    # queue depth at each submit).
+    disk, scheduler = make_scheduler(background_threads=1, slowdown_trigger=2,
+                                     stop_trigger=100, slowdown_penalty_us=10.0)
+    for i in range(3):
+        scheduler.submit(Job(
+            kind="compaction",
+            fn=lambda i=i: write_bytes(disk, f"c{i}", 40960, "compaction")))
+    # Jobs 2 and 3 see depth 2 and 3 -> penalties of 1x and 2x.
+    assert scheduler.stats.stall_events == 2
+    assert scheduler.stats.stall_seconds == pytest.approx(3 * 10.0 * 1e-6)
+
+
+def test_stop_trigger_stalls_until_drain():
+    # Large writes: job durations (~1ms) dominate the slowdown penalty, so
+    # the third submit still finds both earlier jobs in flight.
+    disk, scheduler = make_scheduler(background_threads=1, slowdown_trigger=2,
+                                     stop_trigger=3)
+    for i in range(3):
+        scheduler.submit(Job(
+            kind="compaction",
+            fn=lambda i=i: write_bytes(disk, f"c{i}", 409600, "compaction")))
+    # The third submit hits stop_trigger: the foreground clock jumps to the
+    # first job's end, so the queue drains below the stop threshold.
+    assert scheduler.stats.stall_seconds > 0
+    assert scheduler.queue_depth() < 3
+    assert scheduler.stats.queue_depth_high_water == 3
+
+
+def test_stalls_advance_foreground_clock():
+    disk, scheduler = make_scheduler(background_threads=1, slowdown_trigger=1,
+                                     stop_trigger=100, slowdown_penalty_us=1000.0)
+    before = scheduler.foreground_clock()
+    scheduler.submit(Job(
+        kind="flush", fn=lambda: write_bytes(disk, "f", 4096, "flush")))
+    assert scheduler.foreground_clock() == pytest.approx(
+        before + scheduler.stats.stall_seconds)
+
+
+def test_describe_shape():
+    __, scheduler = make_scheduler(background_threads=2)
+    info = scheduler.describe()
+    assert info["background_threads"] == 2
+    for key in ("stall_seconds", "job_counts", "queue_depth",
+                "backlog_seconds", "queue_depth_high_water"):
+        assert key in info
+
+
+def test_write_stall_stats_as_dict_superset():
+    stats = WriteStallStats(flushes=3, stall_seconds=0.5)
+    d = stats.as_dict()
+    assert d["flushes"] == 3 and d["stall_seconds"] == 0.5
+    assert set(d) >= {"flushes", "compactions", "gc_runs", "stall_seconds",
+                      "stall_events", "queue_depth_high_water",
+                      "job_counts", "job_seconds"}

@@ -13,7 +13,6 @@ from repro.workloads import load_phase, ycsb_run
 from repro.workloads.trace import (
     dump_trace,
     dumps_trace,
-    load_trace,
     loads_trace,
     trace_stats,
 )

@@ -6,7 +6,6 @@ from repro import LevelDBStore, PebblesDBStore, UniKV
 from repro.engine import WalReader, WalWriter
 from repro.engine.keys import KIND_TOMBSTONE, KIND_VALUE
 from repro.env import SimulatedDisk
-from tests.conftest import tiny_unikv_config
 from tests.test_lsm_leveldb import small_config
 
 
