@@ -55,6 +55,7 @@ def main() -> None:
             print(f"UniKV structure: {store.num_partitions()} partitions, "
                   f"{store.stats.scan_merges} size-based scan merges, "
                   f"{store.stats.splits} range splits")
+        store.close()
     print()
     print(format_table("metrics pipeline: sequential ingest + window scans",
                        rows))

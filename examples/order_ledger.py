@@ -62,6 +62,8 @@ def main() -> None:
           % (metrics.latency_us("update", 50),
              metrics.latency_us("update", 99),
              metrics.latency_us("update", 99.9)))
+    recovered.close()
+    db.close()
 
 
 if __name__ == "__main__":

@@ -53,6 +53,11 @@ def main() -> None:
     custom.put(b"k", b"v")
     print("\ncustom-config store works:", custom.get(b"k"))
 
+    # Shut stores down cleanly: flush memtables, sync + close WALs,
+    # release cached table handles.
+    for store in (db, db2, custom):
+        store.close()
+
 
 if __name__ == "__main__":
     main()

@@ -51,6 +51,7 @@ def main() -> None:
         else:
             row["notes"] = f"levels {store.level_file_counts()}"
         rows.append(row)
+        store.close()
     print(format_table("session store: 80/20 read/update, Zipfian users",
                        rows))
     ratio = rows[0]["kops"] / rows[1]["kops"]

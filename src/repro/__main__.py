@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's experiments.
+"""Command-line entry point: experiments and the serving layer.
 
 Usage::
 
@@ -6,21 +6,24 @@ Usage::
     python -m repro E3 E4                  # run selected experiments
     python -m repro all                    # run everything (minutes)
     python -m repro E3 --records 20000     # override the workload scale
+
+    python -m repro serve --shards 2 --port 7711   # sharded KV server
+    python -m repro.service.client --port 7711 put greeting hello
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
-
-from repro.bench.experiments import ALL_EXPERIMENTS
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="UniKV (ICDE 2020) reproduction: run evaluation experiments "
-                    "on the simulated device and print the paper-style tables.")
+                    "on the simulated device and print the paper-style tables, "
+                    "or serve a sharded store over TCP ('serve' subcommand).")
     parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                         help="experiment ids (e.g. E3 E7), or 'all'")
     parser.add_argument("--list", action="store_true",
@@ -30,8 +33,72 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a range-sharded UniKV deployment over TCP "
+                    "(length-prefixed binary protocol; see repro.service).")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="number of independent UniKV shards (default 2)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7711,
+                        help="listening port (default 7711; 0 = ephemeral)")
+    parser.add_argument("--boundaries", default=None,
+                        help="comma-separated shard boundary keys (UTF-8); "
+                             "defaults to even single-byte split points")
+    parser.add_argument("--background-threads", type=int, default=0,
+                        help="background maintenance lanes per shard "
+                             "(enables write-stall backpressure; default 0)")
+    parser.add_argument("--admission", choices=["delay", "shed"],
+                        default="delay",
+                        help="write admission policy under backpressure "
+                             "(default: delay)")
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    from repro.core.config import UniKVConfig
+    from repro.service.server import run_server
+
+    args = build_serve_parser().parse_args(argv)
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.background_threads < 0:
+        print("--background-threads must be >= 0", file=sys.stderr)
+        return 2
+    boundaries = None
+    if args.boundaries:
+        boundaries = [b.encode("utf-8") for b in args.boundaries.split(",")]
+        if len(boundaries) != args.shards - 1:
+            print(f"--boundaries needs exactly {args.shards - 1} keys for "
+                  f"{args.shards} shards", file=sys.stderr)
+            return 2
+        if sorted(boundaries) != boundaries or len(set(boundaries)) != len(boundaries):
+            print("--boundaries must be strictly increasing", file=sys.stderr)
+            return 2
+    config = UniKVConfig(background_threads=args.background_threads)
+    try:
+        asyncio.run(run_server(args.shards, args.host, args.port,
+                               boundaries=boundaries, config=config,
+                               admission=args.admission))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
     args = build_parser().parse_args(argv)
+    if args.records is not None and args.records <= 0:
+        print(f"--records must be a positive integer (got {args.records})",
+              file=sys.stderr)
+        return 2
     if args.list or not args.experiments:
         print("Available experiments:")
         for exp_id, fn in ALL_EXPERIMENTS.items():

@@ -112,6 +112,15 @@ class StoreContext:
         """Resident metadata bytes of every open table (see TableCache)."""
         return self._tables.metadata_bytes()
 
+    def close(self) -> None:
+        """Release open handles (table-cache readers, value-log readers).
+
+        The durable state — manifest, tables, logs, WALs — stays on disk;
+        a new store over the same disk recovers from it.
+        """
+        self._tables.clear()
+        self._log_readers.clear()
+
     def drop_table(self, name: str) -> None:
         self._tables.evict(name)
         self.cache.evict_file(name)

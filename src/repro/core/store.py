@@ -53,6 +53,8 @@ class UniKV(KVStore):
     """Unified hash/LSM-indexed KV store (the paper's system)."""
 
     name = "UniKV"
+    #: class-level default so recovered instances are "open" too
+    _closed = False
     #: scans fetch values through this tag; the bench harness parallelizes it
     #: (the paper's 32-thread fetch pool + readahead)
     scan_value_tag = "scan_value"
@@ -93,6 +95,7 @@ class UniKV(KVStore):
         return self.ctx.scheduler
 
     def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
         partition = self._partition_for(key)
         if partition.wal is not None:
             partition.wal.append(key, KIND_VALUE, value)
@@ -100,6 +103,7 @@ class UniKV(KVStore):
         self._maybe_flush(partition)
 
     def delete(self, key: bytes) -> None:
+        self._check_open()
         partition = self._partition_for(key)
         if partition.wal is not None:
             partition.wal.append(key, KIND_TOMBSTONE, b"")
@@ -115,6 +119,7 @@ class UniKV(KVStore):
         partitions is atomic per partition: a crash can persist some
         partitions' groups and not others, never a partial group.
         """
+        self._check_open()
         groups: dict[int, list[tuple[bytes, int, bytes]]] = {}
         for op in ops:
             if op[0] == "put":
@@ -205,6 +210,33 @@ class UniKV(KVStore):
             if partition in self.partitions:  # may have been split away
                 self._submit_flush(partition, lambda p=partition: bool(p.mem))
         self._maybe_split()
+
+    def close(self) -> None:
+        """Shut the store down cleanly: flush memtables, sync and close the
+        WALs, release table-cache and value-log handles.
+
+        On the simulated device "fsync" is the writer close (appends are
+        durable immediately); the method mirrors what a real engine's close
+        must do.  Idempotent; further writes raise ``RuntimeError``, and a
+        new instance over the same disk recovers the full durable state.
+        """
+        if self._closed:
+            return
+        self.flush()
+        for partition in self.partitions:
+            if partition.wal is not None:
+                partition.wal.close()
+                partition.wal = None
+        self.ctx.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("store is closed")
 
     # -- routing -----------------------------------------------------------------------
 

@@ -62,5 +62,9 @@ class TableCache:
     def evict(self, name: str) -> None:
         self._lru.pop(name, None)
 
+    def clear(self) -> None:
+        """Release every open reader (store shutdown)."""
+        self._lru.clear()
+
     def __len__(self) -> int:
         return len(self._lru)

@@ -35,6 +35,33 @@ def test_cli_runs_experiment_with_records_override(capsys):
     assert "600" in out
 
 
+def test_cli_rejects_non_positive_records(capsys):
+    for bad in ("0", "-5"):
+        assert main(["E12", "--records", bad]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_bad_arguments(capsys):
+    assert main(["serve", "--shards", "0"]) == 2
+    assert "--shards" in capsys.readouterr().err
+    assert main(["serve", "--background-threads", "-1"]) == 2
+    assert "--background-threads" in capsys.readouterr().err
+    # Boundary count must be shards - 1 and strictly increasing.
+    assert main(["serve", "--shards", "3", "--boundaries", "m"]) == 2
+    assert "exactly 2" in capsys.readouterr().err
+    assert main(["serve", "--shards", "3", "--boundaries", "z,a"]) == 2
+    assert "strictly increasing" in capsys.readouterr().err
+
+
+def test_client_cli_validates_arguments(capsys):
+    from repro.service.client import main as client_main
+
+    assert client_main(["get"]) == 2            # missing key
+    assert "get: expected" in capsys.readouterr().err
+    assert client_main(["put", "k"]) == 2       # missing value
+    assert "put: expected" in capsys.readouterr().err
+
+
 # -- latency percentiles -------------------------------------------------------------
 
 def test_latencies_collected_per_op_kind():

@@ -36,6 +36,13 @@ def test_order_ledger(capsys):
     assert "p99.9" in out
 
 
+def test_kv_server_demo(capsys):
+    out = run_example("kv_server_demo.py", capsys)
+    assert "serving 2 shards" in out
+    assert "scan across shards" in out
+    assert "server drained; shards closed: True" in out
+
+
 @pytest.mark.slow
 def test_engine_shootout(capsys):
     out = run_example("engine_shootout.py", capsys)

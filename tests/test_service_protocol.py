@@ -1,0 +1,160 @@
+"""Wire-protocol edge cases: framing, partial reads, limits."""
+
+import struct
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    FrameDecoder,
+    FrameTooLarge,
+    Op,
+    ProtocolError,
+    Status,
+)
+
+
+def payload_of(frame_bytes: bytes) -> bytes:
+    """Strip the length header off a single complete frame."""
+    (length,) = struct.unpack_from("<I", frame_bytes)
+    assert len(frame_bytes) == 4 + length
+    return frame_bytes[4:]
+
+
+# -- request round trips ----------------------------------------------------------------
+
+def test_request_round_trips():
+    cases = [
+        (protocol.encode_ping(b"hi"), Op.PING),
+        (protocol.encode_get(b"k"), Op.GET),
+        (protocol.encode_put(b"k", b"v"), Op.PUT),
+        (protocol.encode_delete(b"k"), Op.DELETE),
+        (protocol.encode_scan(b"start", 17), Op.SCAN),
+        (protocol.encode_stats(), Op.STATS),
+        (protocol.encode_describe(), Op.DESCRIBE),
+    ]
+    for frame_bytes, op in cases:
+        req = protocol.decode_request(payload_of(frame_bytes))
+        assert req.op == op
+    req = protocol.decode_request(payload_of(protocol.encode_put(b"k", b"v")))
+    assert (req.key, req.value) == (b"k", b"v")
+    req = protocol.decode_request(payload_of(protocol.encode_scan(b"s", 17)))
+    assert (req.key, req.count) == (b"s", 17)
+
+
+def test_batch_round_trip():
+    ops = [("put", b"a", b"1"), ("delete", b"b"), ("put", b"c", b"3")]
+    req = protocol.decode_request(payload_of(protocol.encode_batch(ops)))
+    assert req.op == Op.BATCH
+    assert req.ops == ops
+
+
+def test_zero_length_keys_and_values_are_first_class():
+    req = protocol.decode_request(payload_of(protocol.encode_put(b"", b"")))
+    assert (req.key, req.value) == (b"", b"")
+    req = protocol.decode_request(payload_of(protocol.encode_get(b"")))
+    assert req.key == b""
+    ops = [("put", b"", b""), ("delete", b"")]
+    req = protocol.decode_request(payload_of(protocol.encode_batch(ops)))
+    assert req.ops == ops
+    body = protocol.encode_pairs_body([(b"", b"")])
+    assert protocol.decode_pairs_body(body) == [(b"", b"")]
+
+
+def test_response_round_trip():
+    frame_bytes = protocol.encode_response(
+        Status.OK, protocol.encode_value_body(b"value"))
+    status, body = protocol.decode_response(payload_of(frame_bytes))
+    assert status == Status.OK
+    assert protocol.decode_value_body(body) == b"value"
+    pairs = [(b"k1", b"v1"), (b"k2", b"v2")]
+    status, body = protocol.decode_response(payload_of(
+        protocol.encode_response(Status.OK, protocol.encode_pairs_body(pairs))))
+    assert protocol.decode_pairs_body(body) == pairs
+
+
+# -- malformed payloads -----------------------------------------------------------------
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(ProtocolError):
+        protocol.decode_request(b"\xff")
+
+
+def test_truncated_fields_rejected():
+    good = payload_of(protocol.encode_put(b"key", b"value"))
+    for cut in range(1, len(good)):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(good[:cut])
+
+
+def test_trailing_garbage_rejected():
+    good = payload_of(protocol.encode_get(b"key"))
+    with pytest.raises(ProtocolError):
+        protocol.decode_request(good + b"x")
+
+
+def test_unknown_status_rejected():
+    with pytest.raises(ProtocolError):
+        protocol.decode_response(b"\xee")
+
+
+# -- incremental decoding ---------------------------------------------------------------
+
+def test_decoder_handles_byte_at_a_time_delivery():
+    frames = [protocol.encode_get(b"alpha"), protocol.encode_put(b"b", b"2"),
+              protocol.encode_ping(b"")]
+    stream = b"".join(frames)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(len(stream)):
+        out.extend(decoder.feed(stream[i:i + 1]))
+    assert out == [payload_of(f) for f in frames]
+    assert decoder.pending_bytes() == 0
+
+
+def test_decoder_handles_many_frames_in_one_chunk():
+    frames = [protocol.encode_put(b"k%d" % i, b"v%d" % i) for i in range(50)]
+    decoder = FrameDecoder()
+    out = decoder.feed(b"".join(frames))
+    assert out == [payload_of(f) for f in frames]
+
+
+def test_decoder_split_across_header_boundary():
+    frame_bytes = protocol.encode_get(b"key")
+    decoder = FrameDecoder()
+    assert decoder.feed(frame_bytes[:2]) == []       # half a header
+    assert decoder.feed(frame_bytes[2:5]) == []      # header + 1 body byte
+    assert decoder.feed(frame_bytes[5:]) == [payload_of(frame_bytes)]
+
+
+def test_decoder_oversized_frame_skipped_stream_survives():
+    decoder = FrameDecoder(max_frame_bytes=64)
+    big = protocol.frame(b"x" * 200)
+    good = protocol.encode_get(b"after")
+    out = decoder.feed(big + good)
+    assert isinstance(out[0], FrameTooLarge)
+    assert out[0].declared_size == 200
+    assert out[1] == payload_of(good)
+
+
+def test_decoder_oversized_frame_streamed_in_pieces():
+    decoder = FrameDecoder(max_frame_bytes=16)
+    big = protocol.frame(b"y" * 100)
+    good = protocol.encode_ping(b"ok")
+    stream = big + good
+    out = []
+    for i in range(0, len(stream), 7):
+        out.extend(decoder.feed(stream[i:i + 7]))
+    assert [type(x) for x in out] == [FrameTooLarge, bytes]
+    assert out[1] == payload_of(good)
+    assert decoder.pending_bytes() == 0
+
+
+def test_decoder_buffer_compaction_keeps_decoding():
+    decoder = FrameDecoder()
+    frames = [protocol.encode_put(b"key-%04d" % i, b"v" * 200)
+              for i in range(100)]
+    out = []
+    for f in frames:
+        out.extend(decoder.feed(f))
+    assert out == [payload_of(f) for f in frames]
