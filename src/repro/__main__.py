@@ -9,6 +9,9 @@ Usage::
 
     python -m repro serve --shards 2 --port 7711   # sharded KV server
     python -m repro.service.client --port 7711 put greeting hello
+
+    python -m repro sim --seed 7                   # one seeded chaos run
+    python -m repro sim --seed 0 --batch 20        # sweep seeds 0..19
 """
 
 from __future__ import annotations
@@ -87,10 +90,62 @@ def serve_main(argv: list[str]) -> int:
     return 0
 
 
+def build_sim_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sim",
+        description="Deterministic full-stack chaos simulation: seeded "
+                    "network faults + shard power failures with torn "
+                    "writes, validated by a consistency oracle "
+                    "(see repro.sim).  Exit status 1 on any violation.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed of the first run (default 0)")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="number of consecutive seeds to run (default 1)")
+    parser.add_argument("--steps", type=int, default=600,
+                        help="main-phase ticks per run (default 600)")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="UniKV shards behind the router (default 3)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop clients (default 4)")
+    parser.add_argument("--crashes", type=int, default=2,
+                        help="shard power failures per run (default 2)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the full event trace of each run")
+    return parser
+
+
+def sim_main(argv: list[str]) -> int:
+    from repro.sim import SimConfig, run_sim
+
+    args = build_sim_parser().parse_args(argv)
+    if args.batch < 1 or args.steps < 1 or args.shards < 1 or args.clients < 1:
+        print("--batch/--steps/--shards/--clients must be >= 1",
+              file=sys.stderr)
+        return 2
+    config = SimConfig(steps=args.steps, num_shards=args.shards,
+                       num_clients=args.clients, num_crashes=args.crashes)
+    failed = []
+    for seed in range(args.seed, args.seed + args.batch):
+        result = run_sim(seed, config)
+        print(result.summary(), flush=True)
+        if args.trace:
+            for line in result.trace:
+                print(f"  {line}")
+        if not result.ok:
+            failed.append(seed)
+    if failed:
+        print(f"FAILED seeds: {failed} — reproduce with "
+              f"`python -m repro sim --seed <seed>`", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "sim":
+        return sim_main(argv[1:])
 
     from repro.bench.experiments import ALL_EXPERIMENTS
 

@@ -58,18 +58,30 @@ class Manifest:
         if create and not disk.exists(name):
             disk.create(name).close()
         self._writer = disk.append_writer(name)
+        #: byte offset just past the last valid record seen by replay()
+        self.valid_end = 0
 
     def append(self, record: dict) -> None:
         """Durably append one metadata record (this is the commit point)."""
         payload = json.dumps(record, separators=(",", ":")).encode()
         crc = zlib.crc32(payload)
         self._writer.append(_HDR.pack(crc, len(payload)) + payload, tag="manifest")
+        # Commit point: the record must be on media before the operation's
+        # outputs become visible (no-op on disks without sync tracking).
+        self._writer.sync()
 
     def replay(self) -> Iterator[dict]:
-        """All committed records, oldest first; stops at a torn tail."""
+        """All committed records, oldest first; stops at a torn tail.
+
+        Tracks :attr:`valid_end` — the offset just past the last intact
+        record — so :meth:`repair` can truncate a torn tail before new
+        records are appended (appends after garbage would be unreachable:
+        replay stops at the tear).
+        """
         buf = self._disk.read_full(self.name, tag="manifest_replay")
         pos = 0
         end = len(buf)
+        self.valid_end = 0
         while pos + _HDR.size <= end:
             crc, length = _HDR.unpack_from(buf, pos)
             start = pos + _HDR.size
@@ -83,3 +95,23 @@ class Manifest:
             except ValueError as exc:  # pragma: no cover - crc makes this unlikely
                 raise CorruptionError(f"manifest record undecodable: {exc}") from exc
             pos = start + length
+            self.valid_end = pos
+
+    def repair(self) -> bool:
+        """Drop a torn tail so appends extend the *valid* log; True if cut.
+
+        Must run after :meth:`replay` has been fully consumed.  The rewrite
+        is in-place and therefore not itself crash-atomic; the simulation
+        harness never injects a crash during recovery (a CURRENT-pointer
+        scheme would be needed to close that window).
+        """
+        size = self._disk.size(self.name)
+        if self.valid_end >= size:
+            return False
+        buf = self._disk.read_full(self.name, tag="manifest_repair")
+        writer = self._disk.create(self.name)
+        if self.valid_end:
+            writer.append(buf[:self.valid_end], tag="manifest")
+        writer.close()
+        self._writer = self._disk.append_writer(self.name)
+        return True

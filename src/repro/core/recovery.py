@@ -19,13 +19,16 @@ Recovery replays three sources, exactly the paper's scheme:
 
 from __future__ import annotations
 
+import struct
+
+from repro.engine.errors import CorruptionError
 from repro.engine.sstable import TableMeta
 from repro.engine.wal import WalReader, WalWriter
 from repro.core.context import StoreContext
 from repro.core.hash_index import HashIndex
 from repro.core.manifest import Manifest, meta_from_json
 from repro.core.partition import Partition
-from repro.env.storage import SimulatedDisk
+from repro.env.storage import ReadFault, SimulatedDisk
 
 
 class _PartitionState:
@@ -116,6 +119,11 @@ def recover_store(store, disk: SimulatedDisk) -> None:
             wal_names[record["partition"]] = record["name"]
             max_wal = max(max_wal, int(record["name"].rsplit("-", 1)[1]))
 
+    # A torn manifest tail (power failure mid-commit) must be cut before
+    # anything appends new records: appends after garbage bytes would be
+    # unreachable, since replay stops at the tear.
+    manifest.repair()
+
     # -- orphan cleanup: delete uncommitted data files -----------------------------
     referenced: set[str] = {manifest.name}
     for state in parts.values():
@@ -160,11 +168,39 @@ def recover_store(store, disk: SimulatedDisk) -> None:
         for partition in partitions:
             name = wal_names.get(partition.id)
             if name is not None and disk.exists(name):
-                for key, kind, value in WalReader(disk, name).replay():
+                reader = WalReader(disk, name)
+                records = list(reader.replay())
+                for key, kind, value in records:
                     partition.mem._insert(key, kind, value)
-                partition.wal = WalWriter(disk, name, tag="wal", append=True)
+                if reader.tail_corrupt:
+                    _relog_wal(store, partition, name, records)
+                else:
+                    partition.wal = WalWriter(disk, name, tag="wal", append=True)
             else:
                 store._rotate_wal(partition)
+
+
+def _relog_wal(store, partition: Partition, old_name: str,
+               records: list[tuple[bytes, int, bytes]]) -> None:
+    """Replace a WAL with a torn tail by a fresh log of its intact prefix.
+
+    Appending past the tear would strand the new records (replay stops at
+    the damage), and truncating in place isn't an append-only operation —
+    so recovery re-logs the surviving records into a new file, commits the
+    switch, and only then deletes the damaged log.  A crash before the
+    commit leaves the old WAL authoritative (the new file is an orphan); a
+    crash after it leaves the new WAL authoritative (the old one is).
+    """
+    ctx = store.ctx
+    new_name = f"wal-{store._next_wal:06d}"
+    store._next_wal += 1
+    new_wal = WalWriter(ctx.disk, new_name, tag="wal")
+    for key, kind, value in records:
+        new_wal.append(key, kind, value)
+    ctx.manifest.append({"type": "wal", "partition": partition.id,
+                         "name": new_name})
+    ctx.disk.delete(old_name)
+    partition.wal = new_wal
 
 
 def _rebuild_hash_index(ctx: StoreContext, partition: Partition,
@@ -177,10 +213,16 @@ def _rebuild_hash_index(ctx: StoreContext, partition: Partition,
         usable = (ctx.disk.exists(file)
                   and all(tid in tables for tid in covered))
         if usable:
-            buf = ctx.disk.read_full(file, tag="checkpoint_load")
-            partition.unsorted.index = HashIndex.decode(buf)
-            rebuilt_from_ckpt = True
-            to_replay = [tid for tid in sorted(tables) if tid not in covered]
+            # A checkpoint that reads back damaged (torn clone, media
+            # fault) is never fatal: the index is an acceleration
+            # structure and can always be rebuilt from the tables.
+            try:
+                buf = ctx.disk.read_full(file, tag="checkpoint_load")
+                partition.unsorted.index = HashIndex.decode(buf)
+                rebuilt_from_ckpt = True
+                to_replay = [tid for tid in sorted(tables) if tid not in covered]
+            except (CorruptionError, ReadFault, struct.error):
+                to_replay = sorted(tables)
         else:
             to_replay = sorted(tables)
     else:

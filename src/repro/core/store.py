@@ -222,11 +222,15 @@ class UniKV(KVStore):
         """
         if self._closed:
             return
-        self.flush()
-        for partition in self.partitions:
-            if partition.wal is not None:
-                partition.wal.close()
-                partition.wal = None
+        if not self.disk.crashed:
+            # On a crashed device there is nothing left to flush or sync —
+            # acked state is already durable (WAL) and close must still
+            # succeed so deployments can tear down dead shards.
+            self.flush()
+            for partition in self.partitions:
+                if partition.wal is not None:
+                    partition.wal.close()
+                    partition.wal = None
         self.ctx.close()
         self._closed = True
 

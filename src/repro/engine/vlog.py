@@ -82,7 +82,12 @@ class VLogWriter:
     def size(self) -> int:
         return self._writer.tell()
 
+    def sync(self) -> None:
+        self._writer.sync()
+
     def close(self) -> None:
+        # close() implies a final sync, so a value log is always durable
+        # before the manifest record referencing it commits.
         self._writer.close()
 
 

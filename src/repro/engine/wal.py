@@ -50,6 +50,12 @@ class WalWriter:
     def _append_payload(self, payload: bytes) -> None:
         crc = zlib.crc32(payload)
         self._writer.append(_HDR.pack(crc, len(payload)) + payload, tag=self._tag)
+        # The WAL is synchronous: a write is only acknowledged once its
+        # record is durable (no-op on disks without sync tracking).
+        self._writer.sync()
+
+    def sync(self) -> None:
+        self._writer.sync()
 
     def size(self) -> int:
         return self._writer.tell()

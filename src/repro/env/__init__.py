@@ -13,8 +13,10 @@ reads), only the device underneath is modelled.
 from repro.env.cost_model import DeviceCostModel, TimeBreakdown
 from repro.env.iostats import IOStats, IORecord
 from repro.env.storage import (
+    DiskCrashed,
     FileNotFound,
     RandomAccessFile,
+    ReadFault,
     SequentialWriter,
     SimulatedDisk,
 )
@@ -28,4 +30,6 @@ __all__ = [
     "SequentialWriter",
     "RandomAccessFile",
     "FileNotFound",
+    "DiskCrashed",
+    "ReadFault",
 ]

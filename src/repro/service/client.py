@@ -19,6 +19,7 @@ import argparse
 import asyncio
 import contextlib
 import json
+import random
 import socket
 import struct
 import sys
@@ -53,16 +54,36 @@ class ServerError(Exception):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff for transient errors."""
+    """Exponential backoff with seeded jitter for transient errors.
+
+    Pure ``base * mult**attempt`` backoff synchronizes every client shed at
+    the same instant into a retry storm that arrives — again — at the same
+    instant.  Jitter breaks the lockstep: each delay is drawn uniformly
+    from ``[(1 - jitter) * d, d]`` ("equal jitter"), seeded per policy
+    instance so two clients with different seeds spread out while a given
+    seed reproduces its delay sequence exactly.
+    """
 
     retries: int = 4
     backoff_base_s: float = 0.01
     backoff_multiplier: float = 2.0
     backoff_max_s: float = 0.5
+    #: fraction of each delay randomized away (0 = legacy fixed backoff)
+    jitter: float = 0.5
+    #: seed for the jitter stream; None draws one from system entropy
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        object.__setattr__(self, "_rng", random.Random(self.seed))
 
     def delay(self, attempt: int) -> float:
-        return min(self.backoff_max_s,
+        base = min(self.backoff_max_s,
                    self.backoff_base_s * self.backoff_multiplier ** attempt)
+        if self.jitter <= 0.0:
+            return base
+        return base * (1.0 - self.jitter * self._rng.random())
 
 
 class Batcher:

@@ -172,6 +172,21 @@ class ShardRouter:
     def closed(self) -> bool:
         return self._closed
 
+    def reattach(self, shard_index: int, store: UniKV) -> UniKV:
+        """Swap a crashed shard's store for a recovered replacement.
+
+        The chaos harness kills a shard (its disk raises
+        :class:`~repro.env.storage.DiskCrashed`), recovers a fresh
+        :class:`UniKV` from a crash-consistent clone of the device, and
+        re-attaches it here; requests route to the replacement from the
+        next operation on.  Returns the store that was replaced.
+        """
+        if not 0 <= shard_index < len(self.stores):
+            raise IndexError(f"no shard {shard_index}")
+        old = self.stores[shard_index]
+        self.stores[shard_index] = store
+        return old
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("router is closed")

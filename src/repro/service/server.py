@@ -41,6 +41,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.core.config import UniKVConfig
+from repro.env.storage import DiskCrashed
 from repro.service import protocol
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
@@ -201,6 +202,14 @@ class KVServer:
             return protocol.encode_response(Status.BAD_REQUEST, str(exc).encode())
         try:
             return await self._execute(request, conn)
+        except DiskCrashed as exc:
+            # A shard's device failed mid-operation.  That's transient from
+            # the client's point of view — the operator (or chaos harness)
+            # recovers the shard and re-attaches it — so steer the client
+            # to its retry path rather than reporting a hard error.
+            self.stats.errors += 1
+            return protocol.encode_response(
+                Status.RETRY, f"shard device crashed: {exc}".encode())
         except Exception as exc:  # a failing request must not kill the stream
             self.stats.errors += 1
             return protocol.encode_response(

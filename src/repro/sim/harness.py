@@ -1,0 +1,496 @@
+"""Deterministic full-stack fault-injection harness.
+
+One integer seed drives an entire run: concurrent clients issue put/get/
+delete traffic at a sharded UniKV deployment through the chaos transport
+(:mod:`repro.sim.faults`), shards are killed with torn-write power
+failures and recovered from crash-consistent device clones
+(:meth:`~repro.env.storage.SimulatedDisk.crash_clone` →
+:func:`~repro.core.recovery.recover_store` →
+:meth:`~repro.service.router.ShardRouter.reattach`), and afterwards the
+consistency oracle (:mod:`repro.sim.oracle`) validates the acknowledged
+history against the recovered final state.
+
+The simulation is a single-threaded discrete-tick loop: per tick every
+client advances one step, the server drains every connection, and due
+crash/recovery events fire.  All nondeterminism is drawn from
+``random.Random`` instances derived from the master seed, and no wall
+clock is consulted, so the same seed reproduces the same run bit for bit
+(asserted via the event trace).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import UniKVConfig
+from repro.core.store import UniKV
+from repro.env.storage import DiskCrashed, SimulatedDisk
+from repro.service import protocol
+from repro.service.protocol import Op, Status
+from repro.service.router import ShardRouter, default_boundaries, replace_config
+from repro.sim.faults import NO_FAULTS, ChaosConnection, FaultConfig
+from repro.sim.oracle import ABSENT, History, Violation, check
+
+
+@dataclass
+class SimConfig:
+    """Knobs of one chaos run (everything else derives from the seed)."""
+
+    steps: int = 600
+    num_shards: int = 3
+    num_clients: int = 4
+    keyspace: int = 24
+    #: shard power failures injected per run
+    num_crashes: int = 2
+    #: ticks a crashed shard stays down before its recovered store attaches
+    recovery_delay: int = 8
+    #: ticks a client waits for a response before abandoning the connection
+    client_timeout: int = 40
+    #: hard cap on post-run drain ticks (a failure to drain is a bug)
+    max_drain_ticks: int = 20_000
+    faults: FaultConfig = field(default_factory=lambda: FaultConfig(
+        drop_request=0.02, dup_request=0.02, drop_response=0.02,
+        reset=0.01, delay=0.25, max_delay_ticks=6, max_chunks=4))
+    #: op mix weights (put, get, delete)
+    weights: tuple[float, float, float] = (0.5, 0.3, 0.2)
+
+
+def sim_store_config(seed: int = 0) -> UniKVConfig:
+    """A small-scale store config so flush/merge/GC/split all fire."""
+    return UniKVConfig(
+        memtable_size=2 * 1024,
+        unsorted_limit_bytes=8 * 1024,
+        vlog_gc_limit=16 * 1024,
+        partition_size_limit=48 * 1024,
+        hash_buckets=512,
+        index_checkpoint_interval=2,
+        seed=seed,
+    )
+
+
+class SimServer:
+    """Synchronous request dispatcher over a :class:`ShardRouter`.
+
+    The semantics mirror :class:`~repro.service.server.KVServer` —
+    including :class:`DiskCrashed` surfacing as ``Status.RETRY`` — minus
+    the asyncio plumbing and admission control, which have no place in a
+    deterministic tick loop.
+    """
+
+    def __init__(self, router: ShardRouter) -> None:
+        self.router = router
+        self.requests = 0
+        self.errors = 0
+        self.crashed_rejections = 0
+
+    def handle(self, payload: bytes) -> bytes:
+        self.requests += 1
+        try:
+            request = protocol.decode_request(payload)
+        except protocol.ProtocolError as exc:
+            return protocol.encode_response(Status.BAD_REQUEST, str(exc).encode())
+        try:
+            return self._execute(request)
+        except DiskCrashed as exc:
+            self.crashed_rejections += 1
+            return protocol.encode_response(
+                Status.RETRY, f"shard device crashed: {exc}".encode())
+        except Exception as exc:  # noqa: BLE001 - must not kill the stream
+            self.errors += 1
+            return protocol.encode_response(
+                Status.ERROR, f"{type(exc).__name__}: {exc}".encode())
+
+    def _execute(self, request: protocol.Request) -> bytes:
+        router = self.router
+        if request.op == Op.GET:
+            value = router.get(request.key)
+            if value is None:
+                return protocol.encode_response(Status.NOT_FOUND)
+            return protocol.encode_response(
+                Status.OK, protocol.encode_value_body(value))
+        if request.op == Op.PUT:
+            router.put(request.key, request.value)
+            return protocol.encode_response(Status.OK)
+        if request.op == Op.DELETE:
+            router.delete(request.key)
+            return protocol.encode_response(Status.OK)
+        if request.op == Op.SCAN:
+            pairs = router.scan(request.key, request.count)
+            return protocol.encode_response(
+                Status.OK, protocol.encode_pairs_body(pairs))
+        if request.op == Op.PING:
+            return protocol.encode_response(
+                Status.OK, protocol.encode_value_body(request.key))
+        return protocol.encode_response(Status.BAD_REQUEST, b"unhandled op")
+
+
+class SimClient:
+    """One closed-loop client: at most one logical operation in flight."""
+
+    def __init__(self, cid: int, harness: "SimHarness",
+                 op_seed: int, fault_seed: int) -> None:
+        self.cid = cid
+        self.harness = harness
+        self.op_rng = random.Random(op_seed)
+        #: one fault stream across all of this client's connections, so a
+        #: reconnect continues (not restarts) the seeded fault schedule
+        self.fault_rng = random.Random(fault_seed)
+        self.conn = harness.open_connection(self)
+        self.record = None          # in-flight OpRecord
+        self.frame = b""            # its encoded request frame
+        self.waiting_since = 0
+        self.retry_at = 0           # backoff gate after Status.RETRY
+        self.timeouts = 0
+        self.retry_responses = 0
+        self.error_responses = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.record is None
+
+    # -- tick step --------------------------------------------------------------------
+
+    def step(self, now: int) -> None:
+        if self.record is None:
+            if self.harness.generating:
+                self._start_op(now)
+            return
+        if now < self.retry_at:
+            return
+        if self.conn.broken:
+            self.harness.trace_event(f"t={now} c{self.cid} reconnect "
+                                     f"op{self.record.op_id} (broken)")
+            self._resend(now)
+            return
+        responses = self.conn.client_recv(now)
+        if responses:
+            # Closed-loop: exactly one request in flight, so the first
+            # completed frame is its response (duplicates are suppressed
+            # transport-side, abandoned connections are never read).
+            self._on_response(responses[0], now)
+            return
+        if now - self.waiting_since >= self.harness.config.client_timeout:
+            self.timeouts += 1
+            self.harness.trace_event(f"t={now} c{self.cid} timeout "
+                                     f"op{self.record.op_id}")
+            self._resend(now)
+
+    # -- operation lifecycle ------------------------------------------------------------
+
+    def _start_op(self, now: int) -> None:
+        rng = self.op_rng
+        harness = self.harness
+        key = harness.keys[rng.randrange(len(harness.keys))]
+        (w_put, w_get, __) = harness.config.weights
+        roll = rng.random()
+        if roll < w_put:
+            kind = "put"
+        elif roll < w_put + w_get:
+            kind = "get"
+        else:
+            kind = "delete"
+        record = harness.history.invoke(self.cid, kind, key, None, now)
+        if kind == "put":
+            # Unique per logical operation: the oracle identifies writes
+            # by value, and retries re-send the same value.
+            record.value = b"v-c%d-op%d" % (self.cid, record.op_id)
+            self.frame = protocol.encode_put(key, record.value)
+        elif kind == "delete":
+            self.frame = protocol.encode_delete(key)
+        else:
+            self.frame = protocol.encode_get(key)
+        self.record = record
+        self.waiting_since = now
+        harness.trace_event(f"t={now} c{self.cid} invoke op{record.op_id} "
+                            f"{kind} {key!r}")
+        self.conn.client_send(self.frame, now)
+
+    def _resend(self, now: int) -> None:
+        """Retry the in-flight op on a fresh connection (same invoke ts)."""
+        self.harness.history.retry(self.record)
+        self.conn = self.harness.open_connection(self)
+        self.waiting_since = now
+        self.conn.client_send(self.frame, now)
+
+    def _on_response(self, payload: bytes, now: int) -> None:
+        record = self.record
+        status, body = protocol.decode_response(payload)
+        if status == Status.RETRY:
+            # Transient (backpressure or a crashed shard): back off, then
+            # retransmit.  The connection is healthy — keep it.
+            self.retry_responses += 1
+            self.harness.history.retry(record)
+            self.retry_at = now + 2 + min(8, record.attempts)
+            self.waiting_since = self.retry_at
+            self.conn.client_send(self.frame, self.retry_at)
+            self.harness.trace_event(f"t={now} c{self.cid} retry "
+                                     f"op{record.op_id}")
+            return
+        if status == Status.ERROR:
+            self.error_responses += 1
+            self.harness.history.retry(record)
+            self.retry_at = now + 4
+            self.waiting_since = self.retry_at
+            self.conn.client_send(self.frame, self.retry_at)
+            self.harness.trace_event(f"t={now} c{self.cid} error-retry "
+                                     f"op{record.op_id}")
+            return
+        result = ABSENT
+        if record.kind == "get" and status == Status.OK:
+            result = protocol.decode_value_body(body)
+        self.harness.history.ack(record, now, result)
+        self.harness.trace_event(
+            f"t={now} c{self.cid} ack op{record.op_id} {status.name}")
+        self.record = None
+        self.retry_at = 0
+
+
+class SimHarness:
+    """Builds the deployment, runs the tick loop, checks the oracle."""
+
+    def __init__(self, seed: int, config: SimConfig | None = None) -> None:
+        self.seed = seed
+        self.config = config or SimConfig()
+        master = random.Random(seed)
+        self.history = History()
+        self.trace: list[str] = []
+        self.generating = True
+        self._faults = self.config.faults
+
+        # keyspace spread across the shard boundaries (first byte spans
+        # 0..255 so every shard sees traffic)
+        n = self.config.keyspace
+        self.keys = [bytes([(i * 256) // n]) + b"k%03d" % i for i in range(n)]
+
+        self.store_config = sim_store_config(seed)
+        stores = [UniKV(disk=SimulatedDisk(sync_tracking=True),
+                        config=replace_config(self.store_config))
+                  for __ in range(self.config.num_shards)]
+        self.router = ShardRouter(
+            stores, default_boundaries(self.config.num_shards))
+        self.server = SimServer(self.router)
+        self.connections: list[tuple[SimClient, ChaosConnection]] = []
+        self.clients = [
+            SimClient(cid, self,
+                      op_seed=master.randrange(2 ** 63),
+                      fault_seed=master.randrange(2 ** 63))
+            for cid in range(self.config.num_clients)
+        ]
+        self._crash_rng = random.Random(master.randrange(2 ** 63))
+        self._crash_schedule = self._plan_crashes()
+        #: fault counters carried over from abandoned connections
+        self._closed_transport = {"dropped_requests": 0,
+                                  "duplicated_requests": 0,
+                                  "dropped_responses": 0, "resets": 0}
+        #: (due tick, shard index, crash-consistent disk clone) — a list,
+        #: not a tick-keyed dict: two crashes may come due the same tick
+        #: (seed 23 of the harsh-profile sweep found the collision)
+        self._pending_recovery: list[tuple[int, int, SimulatedDisk]] = []
+        #: shards with an armed mid-append crash, awaiting detection
+        self._armed: set[int] = set()
+        self.crashes = 0
+        self.recoveries = 0
+
+    # -- wiring -----------------------------------------------------------------------
+
+    def open_connection(self, client: SimClient) -> ChaosConnection:
+        """A fresh connection for ``client``, replacing its previous one."""
+        conn = ChaosConnection(client.fault_rng, self._faults)
+        for other, old in self.connections:
+            if other is client:
+                for key in self._closed_transport:
+                    self._closed_transport[key] += getattr(old, key)
+        self.connections = [(c, k) for c, k in self.connections
+                            if c is not client]
+        self.connections.append((client, conn))
+        return conn
+
+    def trace_event(self, line: str) -> None:
+        self.trace.append(line)
+
+    # -- crash orchestration ------------------------------------------------------------
+
+    def _plan_crashes(self) -> dict[int, tuple[int, str]]:
+        """tick -> (shard, flavor); scheduled in the middle of the run."""
+        cfg = self.config
+        if cfg.num_crashes <= 0 or cfg.steps < 40:
+            return {}
+        lo, hi = cfg.steps // 5, (cfg.steps * 4) // 5
+        ticks = sorted(self._crash_rng.sample(
+            range(lo, hi), min(cfg.num_crashes, hi - lo)))
+        schedule = {}
+        for tick in ticks:
+            shard = self._crash_rng.randrange(cfg.num_shards)
+            flavor = ("armed" if self._crash_rng.random() < 0.5
+                      else "immediate")
+            schedule[tick] = (shard, flavor)
+        return schedule
+
+    def _fire_crash(self, now: int, shard: int, flavor: str) -> None:
+        disk = self.router.stores[shard].disk
+        if (disk.crashed or shard in self._armed
+                or any(s == shard for __, s, ___ in self._pending_recovery)):
+            return  # already down or recovering; skip this injection
+        if flavor == "armed":
+            # Lose power inside one of the next appends — a live torn
+            # write, detected when the store raises DiskCrashed.
+            disk.arm_crash(self._crash_rng.randint(1, 512))
+            self._armed.add(shard)
+            self.trace_event(f"t={now} arm-crash shard{shard}")
+            return
+        self.trace_event(f"t={now} crash shard{shard}")
+        self._begin_recovery(now, shard, disk)
+
+    def _begin_recovery(self, now: int, shard: int,
+                        disk: SimulatedDisk) -> None:
+        self.crashes += 1
+        self._armed.discard(shard)
+        clone = disk.crash_clone(random.Random(self._crash_rng.randrange(2 ** 63)))
+        disk.crash()  # the live device is dead until the clone attaches
+        self._pending_recovery.append(
+            (now + self.config.recovery_delay, shard, clone))
+
+    def _poll_crashes(self, now: int) -> None:
+        # Scheduled injections.
+        event = self._crash_schedule.pop(now, None)
+        if event is not None:
+            self._fire_crash(now, *event)
+        # Armed crashes that have fired inside the store.
+        for shard in sorted(self._armed):
+            disk = self.router.stores[shard].disk
+            if disk.crashed:
+                # crash_clone reads the raw file map (it is not gated on
+                # the crashed flag), so the partially landed append is
+                # visible and the seeded tear applies on top of it.
+                self.trace_event(f"t={now} crash shard{shard} (mid-append)")
+                self._begin_recovery(now, shard, disk)
+        # Due recoveries.
+        due = [entry for entry in self._pending_recovery if entry[0] <= now]
+        self._pending_recovery = [e for e in self._pending_recovery
+                                  if e[0] > now]
+        for __, shard, clone in due:
+            store = UniKV(disk=clone, config=replace_config(self.store_config))
+            self.router.reattach(shard, store)
+            self.recoveries += 1
+            self.trace_event(f"t={now} recover shard{shard} "
+                             f"({store.num_partitions()} partitions)")
+
+    def _finish_recoveries(self, now: int) -> int:
+        """Disarm pending crashes and attach every recovered store."""
+        for shard in sorted(self._armed):
+            self.router.stores[shard].disk.disarm_crash()
+        self._armed.clear()
+        for __, shard, clone in self._pending_recovery:
+            store = UniKV(disk=clone, config=replace_config(self.store_config))
+            self.router.reattach(shard, store)
+            self.recoveries += 1
+            self.trace_event(f"t={now} recover shard{shard} (drain)")
+        self._pending_recovery = []
+        return now
+
+    # -- the run ----------------------------------------------------------------------
+
+    def run(self) -> "SimResult":
+        cfg = self.config
+        now = 0
+        for now in range(cfg.steps):
+            self._poll_crashes(now)
+            for client in self.clients:
+                client.step(now)
+            self._server_tick(now)
+
+        # Drain: no new ops, no new faults, every in-flight op completes.
+        self.generating = False
+        self._faults = NO_FAULTS
+        for __, conn in self.connections:
+            conn.faults = NO_FAULTS
+        now = self._finish_recoveries(now + 1)
+        drained_at = None
+        for now in range(now, now + cfg.max_drain_ticks):
+            self._poll_crashes(now)
+            for client in self.clients:
+                client.step(now)
+            self._server_tick(now)
+            if all(c.idle for c in self.clients):
+                drained_at = now
+                break
+        if drained_at is None:
+            raise RuntimeError(
+                f"seed {self.seed}: clients failed to drain within "
+                f"{cfg.max_drain_ticks} ticks")
+        self.trace_event(f"t={drained_at} drained")
+
+        final_state = self._read_final_state()
+        violations = check(self.history, final_state)
+        return SimResult(
+            seed=self.seed,
+            violations=violations,
+            trace=list(self.trace),
+            history_stats=self.history.stats(),
+            final_keys=len(final_state),
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            server_requests=self.server.requests,
+            server_errors=self.server.errors,
+            crashed_rejections=self.server.crashed_rejections,
+            timeouts=sum(c.timeouts for c in self.clients),
+            retry_responses=sum(c.retry_responses for c in self.clients),
+            transport=self._transport_stats(),
+        )
+
+    def _server_tick(self, now: int) -> None:
+        for __, conn in self.connections:
+            for payload in conn.server_recv(now):
+                conn.server_send(self.server.handle(payload), now)
+
+    def _read_final_state(self) -> dict[bytes, bytes]:
+        """The recovered, drained deployment's full contents (fault-free)."""
+        pairs = self.router.scan(b"", self.config.keyspace * 4 + 16)
+        return dict(pairs)
+
+    def _transport_stats(self) -> dict:
+        totals = dict(self._closed_transport)
+        for __, conn in self.connections:
+            for key in totals:
+                totals[key] += getattr(conn, key)
+        return totals
+
+
+@dataclass
+class SimResult:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    violations: list[Violation]
+    trace: list[str]
+    history_stats: dict
+    final_keys: int
+    crashes: int
+    recoveries: int
+    server_requests: int
+    server_errors: int
+    crashed_rejections: int
+    timeouts: int
+    retry_responses: int
+    transport: dict
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        h = self.history_stats
+        line = (f"seed={self.seed} ops={h['ops']} acked={h['acked']} "
+                f"retries={h['retries']} crashes={self.crashes} "
+                f"recoveries={self.recoveries} timeouts={self.timeouts} "
+                f"final_keys={self.final_keys} "
+                f"violations={len(self.violations)}")
+        if self.violations:
+            line += "\n" + "\n".join(f"  {v}" for v in self.violations)
+        return line
+
+
+def run_sim(seed: int, config: SimConfig | None = None) -> SimResult:
+    """Run one seeded chaos simulation end to end."""
+    return SimHarness(seed, config).run()

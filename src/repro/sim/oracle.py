@@ -1,0 +1,221 @@
+"""History-recording consistency oracle for the chaos harness.
+
+Every client operation is recorded as an *invoke* (the moment the client
+first sends it — retries of the same logical operation keep the original
+invoke time) and, if a response arrives, an *ack*.  After a run the checker
+validates the recorded history plus the recovered final state against a
+per-key atomic-register model — the single-key projection of
+linearizability, which is exactly the guarantee a sharded KV store without
+cross-key transactions offers:
+
+* every acknowledged read must return a value some write could legally
+  have left at a point consistent with real-time order;
+* the final state of each key must be explainable by some write that no
+  acknowledged write strictly follows;
+* acknowledged writes are durable: an acked put whose key has vanished
+  (with no delete that could have removed it) is a violation.
+
+The checker is deliberately **conservative where the history is blind**:
+an operation that was invoked but never acknowledged *may or may not* have
+executed (its effect window extends to infinity), so it can explain an
+observed value but can never invalidate another write.  That asymmetry
+keeps the oracle sound — it reports no false violations — at the cost of
+missing some anomalies involving only unacked operations, the standard
+trade-off for crash/retry histories.
+
+Values written by the harness are unique per logical operation (they embed
+client and operation ids), which is what makes "which write produced this
+value" unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: sentinel for "key absent" observations (reads and final state)
+ABSENT = None
+
+_INF = float("inf")
+
+
+@dataclass
+class OpRecord:
+    """One logical client operation (retries share the record)."""
+
+    client: int
+    op_id: int
+    kind: str                    # "put" | "delete" | "get"
+    key: bytes
+    value: bytes | None          # put: value written; get: observed result
+    invoke_ts: int
+    ack_ts: int | None = None
+    attempts: int = 1
+
+    @property
+    def acked(self) -> bool:
+        return self.ack_ts is not None
+
+    @property
+    def end(self) -> float:
+        """Last instant the operation could have taken effect."""
+        return self.ack_ts if self.ack_ts is not None else _INF
+
+    def written_value(self) -> bytes | None:
+        """The register value this op leaves behind (ABSENT for deletes)."""
+        if self.kind == "put":
+            return self.value
+        if self.kind == "delete":
+            return ABSENT
+        raise ValueError(f"{self.kind} is not a write")
+
+    def describe(self) -> str:
+        ack = f"ack@{self.ack_ts}" if self.acked else "unacked"
+        val = "ABSENT" if self.value is ABSENT else repr(self.value)
+        return (f"c{self.client}/op{self.op_id} {self.kind} "
+                f"key={self.key!r} value={val} invoke@{self.invoke_ts} {ack}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One consistency violation found by :func:`check`."""
+
+    kind: str     # "phantom-read" | "stale-read" | "phantom-final" | ...
+    key: bytes
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] key={self.key!r}: {self.detail}"
+
+
+@dataclass
+class History:
+    """Append-only record of every logical operation in a run."""
+
+    records: list[OpRecord] = field(default_factory=list)
+    _next_op: int = 0
+
+    def invoke(self, client: int, kind: str, key: bytes,
+               value: bytes | None, now: int) -> OpRecord:
+        record = OpRecord(client=client, op_id=self._next_op, kind=kind,
+                          key=key, value=value, invoke_ts=now)
+        self._next_op += 1
+        self.records.append(record)
+        return record
+
+    def retry(self, record: OpRecord) -> None:
+        """A retransmission of the same logical op (invoke time is kept)."""
+        record.attempts += 1
+
+    def ack(self, record: OpRecord, now: int,
+            result: bytes | None = ABSENT) -> None:
+        record.ack_ts = now
+        if record.kind == "get":
+            record.value = result
+
+    # -- summaries ---------------------------------------------------------------------
+
+    def acked(self) -> list[OpRecord]:
+        return [r for r in self.records if r.acked]
+
+    def stats(self) -> dict:
+        acked = self.acked()
+        return {
+            "ops": len(self.records),
+            "acked": len(acked),
+            "unacked": len(self.records) - len(acked),
+            "retries": sum(r.attempts - 1 for r in self.records),
+        }
+
+
+def _writes_for(records: list[OpRecord], key: bytes) -> list[OpRecord]:
+    return [r for r in records
+            if r.key == key and r.kind in ("put", "delete")]
+
+
+def _explains(write: OpRecord, observed: bytes | None) -> bool:
+    return write.written_value() == observed
+
+
+def _valid_at(write: OpRecord, writes: list[OpRecord],
+              read_invoke: float) -> bool:
+    """Could ``write``'s value still be the register at ``read_invoke``?
+
+    It cannot be if some *acknowledged* other write ran entirely after
+    ``write`` finished and entirely before the read began — that write
+    must have overwritten it.  Unacked writes never invalidate (they may
+    not have executed); unacked ``write`` is never invalidated (its
+    effect window is unbounded).
+    """
+    for other in writes:
+        if other is write or not other.acked:
+            continue
+        if other.invoke_ts > write.end and other.ack_ts < read_invoke:
+            return False
+    return True
+
+
+#: the register's state before any operation: an always-valid ABSENT write
+#: that every acknowledged write invalidates (it "acked" before time zero)
+def _init_sentinel(key: bytes) -> OpRecord:
+    return OpRecord(client=-1, op_id=-1, kind="delete", key=key,
+                    value=ABSENT, invoke_ts=-1, ack_ts=-1)
+
+
+def check(history: History,
+          final_state: dict[bytes, bytes] | None = None) -> list[Violation]:
+    """Validate a run; returns all violations found (empty = consistent)."""
+    violations: list[Violation] = []
+    records = history.records
+    keys = {r.key for r in records}
+
+    for key in sorted(keys):
+        writes = _writes_for(records, key) + [_init_sentinel(key)]
+        values = {w.written_value() for w in writes}
+
+        # -- every acknowledged read ---------------------------------------------------
+        for read in records:
+            if read.key != key or read.kind != "get" or not read.acked:
+                continue
+            observed = read.value
+            if observed is not ABSENT and observed not in values:
+                violations.append(Violation(
+                    "phantom-read", key,
+                    f"{read.describe()} returned a value no operation "
+                    f"ever wrote"))
+                continue
+            candidates = [w for w in writes
+                          if _explains(w, observed)
+                          and w.invoke_ts < read.ack_ts]
+            if not any(_valid_at(w, writes, read.invoke_ts)
+                       for w in candidates):
+                violations.append(Violation(
+                    "stale-read", key,
+                    f"{read.describe()} returned a value every matching "
+                    f"write had provably been overwritten by"))
+
+        # -- final (post-recovery, post-drain) state ----------------------------------
+        if final_state is None:
+            continue
+        observed = final_state.get(key, ABSENT)
+        if observed is not ABSENT and observed not in values:
+            violations.append(Violation(
+                "phantom-final", key,
+                f"final value {observed!r} was never written"))
+            continue
+        candidates = [w for w in writes if _explains(w, observed)]
+        if not any(_valid_at(w, writes, _INF) for w in candidates):
+            kind = ("lost-write" if observed is ABSENT else "stale-final")
+            last = max((w for w in writes if w.acked),
+                       key=lambda w: w.ack_ts)
+            violations.append(Violation(
+                kind, key,
+                f"final value {'ABSENT' if observed is ABSENT else repr(observed)} "
+                f"cannot be explained; last acked write was {last.describe()}"))
+
+    if final_state is not None:
+        for key in sorted(set(final_state) - keys):
+            violations.append(Violation(
+                "phantom-final", key,
+                f"final value {final_state[key]!r} on a key no operation "
+                f"ever touched"))
+    return violations

@@ -2,6 +2,7 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -239,3 +240,38 @@ def test_large_random_workload_against_model():
     for probe in (b"", b"key-00350", b"key-00699"):
         expected = sorted((k, v) for k, v in model.items() if k >= probe)[:25]
         assert db.scan(probe, 25) == expected
+
+
+# -- close(): idempotency and crashed-device teardown -----------------------------------
+
+def test_close_is_idempotent():
+    db = UniKV(config=tiny_unikv_config())
+    db.put(b"k", b"v")
+    db.close()
+    db.close()  # second close must be a no-op, not an error
+    assert db.closed
+    with pytest.raises(RuntimeError):
+        db.put(b"k2", b"v2")
+
+
+def test_close_is_idempotent_on_recovered_store():
+    db = UniKV(config=tiny_unikv_config())
+    db.put(b"k", b"v")
+    db.close()
+    recovered = UniKV(disk=db.disk, config=tiny_unikv_config())
+    assert recovered.get(b"k") == b"v"
+    recovered.close()
+    recovered.close()
+    assert recovered.closed
+
+
+def test_close_survives_a_crashed_device():
+    from repro.env.storage import SimulatedDisk
+
+    db = UniKV(disk=SimulatedDisk(sync_tracking=True),
+               config=tiny_unikv_config())
+    db.put(b"k", b"v")
+    db.disk.crash()
+    db.close()  # nothing to flush to a dead device; must not raise
+    db.close()
+    assert db.closed

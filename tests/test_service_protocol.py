@@ -158,3 +158,45 @@ def test_decoder_buffer_compaction_keeps_decoding():
     for f in frames:
         out.extend(decoder.feed(f))
     assert out == [payload_of(f) for f in frames]
+
+
+# -- property: re-chunking never changes what the decoder emits -------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@st.composite
+def _frame_stream(draw):
+    """A valid multi-frame byte stream plus its expected payloads."""
+    payloads = draw(st.lists(st.binary(max_size=64), min_size=1, max_size=8))
+    stream = b"".join(protocol.frame(p) for p in payloads)
+    return payloads, stream
+
+
+@settings(max_examples=100, deadline=None)
+@given(_frame_stream(), st.data())
+def test_decoder_invariant_under_rechunking(frames, data):
+    """Any split of the stream — including 1-byte feeds — decodes to the
+    exact same payload sequence as feeding it whole."""
+    payloads, stream = frames
+    cuts = data.draw(st.lists(
+        st.integers(min_value=0, max_value=len(stream)), max_size=12))
+    bounds = [0] + sorted(set(cuts)) + [len(stream)]
+    decoder = FrameDecoder()
+    out = []
+    for a, b in zip(bounds, bounds[1:]):
+        out.extend(decoder.feed(stream[a:b]))
+    assert out == payloads
+    assert decoder.pending_bytes() == 0
+
+
+def test_decoder_one_byte_feed_equals_whole_feed():
+    payloads = [b"", b"x", b"hello world", b"\x00" * 31]
+    stream = b"".join(protocol.frame(p) for p in payloads)
+    whole = FrameDecoder().feed(stream)
+    decoder = FrameDecoder()
+    trickled = []
+    for i in range(len(stream)):
+        trickled.extend(decoder.feed(stream[i:i + 1]))
+    assert trickled == whole == payloads

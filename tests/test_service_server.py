@@ -385,3 +385,97 @@ def test_sync_client_retries_on_shed_backpressure():
                 assert client.get(make_key(i)) == b"z" * 64
     finally:
         harness.stop()
+
+
+# -- RetryPolicy: seeded jitter on exponential backoff ----------------------------------
+
+def test_retry_policy_delays_grow_and_stay_bounded():
+    policy = RetryPolicy(backoff_base_s=0.01, backoff_multiplier=2.0,
+                         backoff_max_s=0.5, jitter=0.0)
+    delays = [policy.delay(a) for a in range(10)]
+    assert delays[:4] == [0.01, 0.02, 0.04, 0.08]  # exact without jitter
+    assert all(a <= b for a, b in zip(delays, delays[1:]))
+    assert delays[-1] == 0.5  # capped
+
+
+def test_retry_policy_jitter_spreads_within_the_equal_jitter_band():
+    policy = RetryPolicy(backoff_base_s=0.01, backoff_multiplier=2.0,
+                         backoff_max_s=10.0, jitter=0.5, seed=1)
+    for attempt in range(6):
+        base = 0.01 * 2.0 ** attempt
+        samples = {policy.delay(attempt) for __ in range(50)}
+        assert all(base * 0.5 <= d <= base for d in samples)
+        assert len(samples) > 10  # actually jittered, not constant
+
+
+def test_retry_policy_is_seed_deterministic_and_varies_across_seeds():
+    def schedule(seed):
+        policy = RetryPolicy(jitter=0.5, seed=seed)
+        return [policy.delay(a) for a in range(8)]
+    assert schedule(42) == schedule(42)   # same seed: same delays
+    assert schedule(42) != schedule(43)   # different seed: different delays
+    # Unseeded policies draw independent streams (thundering-herd defence).
+    assert (RetryPolicy(jitter=0.5).delay(3)
+            != RetryPolicy(jitter=0.5).delay(3))
+
+
+def test_retry_policy_rejects_bad_jitter():
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=-0.1)
+
+
+# -- crashed shard device surfaces as RETRY --------------------------------------------
+
+def test_server_maps_disk_crash_to_retry_status():
+    asyncio.run(_disk_crash_retry())
+
+
+async def _disk_crash_retry():
+    server = make_sharded_server(num_shards=2, boundary_at=300)
+    await server.start()
+    async with AsyncKVClient(port=server.port,
+                             retry=RetryPolicy(retries=0)) as client:
+        await client.put(make_key(0), b"before")
+        # Power-fail shard 0's device: writes to it now raise DiskCrashed,
+        # which the server must surface as transient (RETRY), not ERROR.
+        server.router.stores[0].disk.crash()
+        with pytest.raises(TransientError):
+            await client.put(make_key(1), b"after")
+        assert server.stats.errors >= 1
+        # The healthy shard keeps serving.
+        await client.put(make_key(999), b"other-shard")
+        assert await client.get(make_key(999)) == b"other-shard"
+    await server.stop()
+
+
+def test_server_disk_crash_recovers_via_reattach():
+    asyncio.run(_disk_crash_reattach())
+
+
+async def _disk_crash_reattach():
+    from repro.core.store import UniKV as UniKVStore
+    from repro.service.router import replace_config
+
+    server = make_sharded_server(num_shards=2, boundary_at=300,
+                                 close_router_on_stop=False)
+    await server.start()
+    router = server.router
+    retry = RetryPolicy(retries=6, backoff_base_s=0.001, backoff_max_s=0.005,
+                        seed=7)
+    async with AsyncKVClient(port=server.port, retry=retry) as client:
+        await client.put(make_key(0), b"durable")
+        crashed = router.stores[0]
+        crashed.disk.crash()
+        # Recover from the crash-consistent clone and re-attach; the
+        # client's retry loop rides through the outage.
+        clone = crashed.disk.crash_clone(0)
+        recovered = UniKVStore(disk=clone,
+                               config=replace_config(crashed.config))
+        assert router.reattach(0, recovered) is crashed
+        assert await client.get(make_key(0)) == b"durable"
+        await client.put(make_key(1), b"post-recovery")
+        assert await client.get(make_key(1)) == b"post-recovery"
+    await server.stop()
+    router.close()

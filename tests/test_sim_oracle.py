@@ -1,0 +1,197 @@
+"""The consistency oracle: catches real violations, allows legal histories.
+
+The checker's contract is *soundness* — an empty report must mean the
+history is explainable, and every report must describe a genuine anomaly —
+so these tests drive it from both sides: hand-built broken histories that
+MUST be flagged, and legal (including deliberately nasty concurrent)
+histories that must NOT be.
+"""
+
+from repro.sim.oracle import ABSENT, History, check
+
+
+def put(h, client, key, value, invoke, ack=None):
+    r = h.invoke(client, "put", key, value, invoke)
+    if ack is not None:
+        h.ack(r, ack)
+    return r
+
+
+def delete(h, client, key, invoke, ack=None):
+    r = h.invoke(client, "delete", key, None, invoke)
+    if ack is not None:
+        h.ack(r, ack)
+    return r
+
+
+def get(h, client, key, invoke, ack, result):
+    r = h.invoke(client, "get", key, None, invoke)
+    h.ack(r, ack, result)
+    return r
+
+
+def kinds(violations):
+    return sorted(v.kind for v in violations)
+
+
+# -- legal histories must pass --------------------------------------------------------
+
+
+def test_empty_history_is_clean():
+    assert check(History(), {}) == []
+
+
+def test_sequential_history_is_clean():
+    h = History()
+    put(h, 0, b"k", b"v1", invoke=0, ack=1)
+    get(h, 0, b"k", invoke=2, ack=3, result=b"v1")
+    put(h, 0, b"k", b"v2", invoke=4, ack=5)
+    get(h, 0, b"k", invoke=6, ack=7, result=b"v2")
+    assert check(h, {b"k": b"v2"}) == []
+
+
+def test_read_before_any_write_sees_absent():
+    h = History()
+    get(h, 0, b"k", invoke=0, ack=1, result=ABSENT)
+    put(h, 0, b"k", b"v", invoke=2, ack=3)
+    assert check(h, {b"k": b"v"}) == []
+
+
+def test_delete_then_absent_everywhere():
+    h = History()
+    put(h, 0, b"k", b"v", invoke=0, ack=1)
+    delete(h, 0, b"k", invoke=2, ack=3)
+    get(h, 0, b"k", invoke=4, ack=5, result=ABSENT)
+    assert check(h, {}) == []
+
+
+def test_concurrent_writes_allow_either_value():
+    # Two overlapping puts: a later read may see either; the final state
+    # may be either.
+    for winner in (b"va", b"vb"):
+        h = History()
+        put(h, 0, b"k", b"va", invoke=0, ack=10)
+        put(h, 1, b"k", b"vb", invoke=5, ack=7)
+        get(h, 2, b"k", invoke=11, ack=12, result=winner)
+        assert check(h, {b"k": winner}) == []
+
+
+def test_read_concurrent_with_write_may_see_old_or_new():
+    h1 = History()
+    put(h1, 0, b"k", b"old", invoke=0, ack=1)
+    put(h1, 1, b"k", b"new", invoke=5, ack=9)
+    get(h1, 2, b"k", invoke=6, ack=7, result=b"old")  # write not yet done
+    assert check(h1) == []
+    h2 = History()
+    put(h2, 0, b"k", b"old", invoke=0, ack=1)
+    put(h2, 1, b"k", b"new", invoke=5, ack=9)
+    get(h2, 2, b"k", invoke=6, ack=7, result=b"new")  # already applied
+    assert check(h2) == []
+
+
+def test_unacked_write_may_or_may_not_have_executed():
+    # The response was lost: the put is unacked but may have applied.
+    h1 = History()
+    put(h1, 0, b"k", b"v", invoke=0)  # never acked
+    assert check(h1, {b"k": b"v"}) == []   # applied: fine
+    h2 = History()
+    put(h2, 0, b"k", b"v", invoke=0)
+    assert check(h2, {}) == []             # never applied: also fine
+
+
+def test_retry_stretched_window_is_not_a_false_positive():
+    # c0's put was applied early, its ack arrived only after many retries;
+    # c1 wrote in between but *overlapping* c0's op window.
+    h = History()
+    put(h, 0, b"k", b"v0", invoke=0, ack=20)   # long op (retries)
+    put(h, 1, b"k", b"v1", invoke=5, ack=6)    # inside c0's window
+    assert check(h, {b"k": b"v0"}) == []       # c0 ordered after c1: legal
+
+
+# -- broken histories must be flagged --------------------------------------------------
+
+
+def test_phantom_read_detected():
+    h = History()
+    put(h, 0, b"k", b"v", invoke=0, ack=1)
+    get(h, 1, b"k", invoke=2, ack=3, result=b"never-written")
+    assert kinds(check(h)) == ["phantom-read"]
+
+
+def test_stale_read_detected():
+    h = History()
+    put(h, 0, b"k", b"v1", invoke=0, ack=1)
+    put(h, 0, b"k", b"v2", invoke=2, ack=3)
+    get(h, 1, b"k", invoke=4, ack=5, result=b"v1")  # v2 strictly between
+    assert kinds(check(h)) == ["stale-read"]
+
+
+def test_read_absent_after_acked_put_detected():
+    h = History()
+    put(h, 0, b"k", b"v", invoke=0, ack=1)
+    get(h, 1, b"k", invoke=2, ack=3, result=ABSENT)
+    assert kinds(check(h)) == ["stale-read"]
+
+
+def test_lost_acked_write_detected():
+    h = History()
+    put(h, 0, b"k", b"v", invoke=0, ack=1)
+    violations = check(h, {})  # key vanished, nothing deleted it
+    assert kinds(violations) == ["lost-write"]
+    assert "op0" in violations[0].detail
+
+
+def test_stale_final_state_detected():
+    h = History()
+    put(h, 0, b"k", b"v1", invoke=0, ack=1)
+    put(h, 0, b"k", b"v2", invoke=2, ack=3)
+    assert kinds(check(h, {b"k": b"v1"})) == ["stale-final"]
+
+
+def test_phantom_final_value_detected():
+    h = History()
+    put(h, 0, b"k", b"v", invoke=0, ack=1)
+    assert kinds(check(h, {b"k": b"other"})) == ["phantom-final"]
+
+
+def test_phantom_final_key_detected():
+    h = History()
+    put(h, 0, b"k", b"v", invoke=0, ack=1)
+    violations = check(h, {b"k": b"v", b"ghost": b"boo"})
+    assert kinds(violations) == ["phantom-final"]
+    assert violations[0].key == b"ghost"
+
+
+def test_resurrected_value_detected():
+    # v1 overwritten by an acked v2, then deleted; final shows v1 again.
+    h = History()
+    put(h, 0, b"k", b"v1", invoke=0, ack=1)
+    put(h, 0, b"k", b"v2", invoke=2, ack=3)
+    delete(h, 1, b"k", invoke=4, ack=5)
+    assert kinds(check(h, {b"k": b"v1"})) == ["stale-final"]
+
+
+def test_multiple_keys_checked_independently():
+    h = History()
+    put(h, 0, b"good", b"v", invoke=0, ack=1)
+    put(h, 0, b"bad", b"v1", invoke=2, ack=3)
+    put(h, 0, b"bad", b"v2", invoke=4, ack=5)
+    violations = check(h, {b"good": b"v", b"bad": b"v1"})
+    assert [v.key for v in violations] == [b"bad"]
+
+
+# -- bookkeeping -----------------------------------------------------------------------
+
+
+def test_history_stats_and_retries():
+    h = History()
+    r = put(h, 0, b"k", b"v", invoke=0)
+    h.retry(r)
+    h.retry(r)
+    h.ack(r, 9)
+    get(h, 1, b"k", invoke=10, ack=11, result=b"v")
+    put(h, 1, b"k2", b"w", invoke=12)  # never acked
+    stats = h.stats()
+    assert stats == {"ops": 3, "acked": 2, "unacked": 1, "retries": 2}
+    assert r.attempts == 3
+    assert "ack@9" in r.describe()
