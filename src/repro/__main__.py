@@ -9,6 +9,7 @@ Usage::
 
     python -m repro serve --shards 2 --port 7711   # sharded KV server
     python -m repro.service.client --port 7711 put greeting hello
+    python -m repro stats --port 7711              # live metrics report
 
     python -m repro sim --seed 7                   # one seeded chaos run
     python -m repro sim --seed 0 --batch 20        # sweep seeds 0..19
@@ -56,6 +57,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         default="delay",
                         help="write admission policy under backpressure "
                              "(default: delay)")
+    parser.add_argument("--stats-interval", type=float, default=0.0,
+                        help="print a compact metrics line every N seconds "
+                             "(default 0 = off)")
     return parser
 
 
@@ -84,9 +88,55 @@ def serve_main(argv: list[str]) -> int:
     try:
         asyncio.run(run_server(args.shards, args.host, args.port,
                                boundaries=boundaries, config=config,
-                               admission=args.admission))
+                               admission=args.admission,
+                               stats_interval=args.stats_interval))
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description="Fetch a running server's STATS and render the live "
+                    "observability report (per-op latency quantiles, "
+                    "stall-cause attribution, cache hit rates).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7711)
+    parser.add_argument("--timeout", type=float, default=5.0)
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="print the raw STATS payload as JSON")
+    output.add_argument("--prometheus", action="store_true",
+                        help="print the shard-merged store metrics in the "
+                             "Prometheus text exposition format")
+    return parser
+
+
+def stats_main(argv: list[str]) -> int:
+    import json
+
+    from repro.obs import snapshot_to_prometheus
+    from repro.obs.render import render_stats
+    from repro.service.client import KVClient
+
+    args = build_stats_parser().parse_args(argv)
+    client = KVClient(args.host, args.port, timeout=args.timeout)
+    try:
+        payload = client.stats()
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.prometheus:
+        obs = payload.get("obs", {})
+        sys.stdout.write(snapshot_to_prometheus(obs.get("stores", {})))
+        sys.stdout.write(snapshot_to_prometheus(obs.get("server", {})))
+    else:
+        print(render_stats(payload))
     return 0
 
 
@@ -146,6 +196,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "sim":
         return sim_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
 
     from repro.bench.experiments import ALL_EXPERIMENTS
 

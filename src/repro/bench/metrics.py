@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.env.cost_model import TimeBreakdown
 from repro.env.iostats import IOStats
+from repro.obs import LogHistogram
 
 
 @dataclass
@@ -27,8 +28,10 @@ class RunMetrics:
     index_memory_bytes: int = 0
     extra: dict = field(default_factory=dict)
     #: per-op modelled seconds, keyed by op kind (populated only when the
-    #: runner was asked to collect latencies)
-    latencies: dict[str, list[float]] = field(default_factory=dict)
+    #: runner was asked to collect latencies).  Log-bucketed histograms,
+    #: not raw sample lists: memory stays O(buckets) however long the run,
+    #: and percentiles carry the histogram's bounded relative error.
+    latencies: dict[str, LogHistogram] = field(default_factory=dict)
 
     @property
     def throughput_kops(self) -> float:
@@ -74,14 +77,12 @@ class RunMetrics:
         ``percentile`` in [0, 100].  Requires the runner to have been
         called with ``collect_latencies=True``.
         """
-        samples = self.latencies.get(op_kind)
-        if not samples:
+        hist = self.latencies.get(op_kind)
+        if not hist:
             raise ValueError(f"no latency samples for op kind {op_kind!r}")
         if not 0 <= percentile <= 100:
             raise ValueError("percentile must be within [0, 100]")
-        ordered = sorted(samples)
-        rank = min(len(ordered) - 1, int(percentile / 100 * len(ordered)))
-        return ordered[rank] * 1e6
+        return hist.quantile(percentile / 100.0) * 1e6
 
     def as_row(self) -> dict:
         return {

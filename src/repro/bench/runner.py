@@ -7,6 +7,7 @@ from typing import Iterable
 from repro.bench.metrics import RunMetrics
 from repro.env.cost_model import DeviceCostModel
 from repro.lsm.base import KVStore
+from repro.obs import LogHistogram
 
 #: modelled CPU cost per operation (software path: memtable, index, cache);
 #: keeps phases that never touch the device from dividing by zero and
@@ -108,7 +109,7 @@ def run_workload(store: KVStore, ops: Iterable[tuple], phase: str = "run",
     bg_before = (scheduler.background_io.snapshot()
                  if scheduler is not None else None)
     stall_before = scheduler.stats.stall_seconds if scheduler is not None else 0.0
-    latencies: dict[str, list[float]] = {}
+    latencies: dict[str, LogHistogram] = {}
     if collect_latencies:
         num_ops = 0
         user_write_bytes = 0
@@ -130,7 +131,10 @@ def run_workload(store: KVStore, ops: Iterable[tuple], phase: str = "run",
                 stall_cursor = scheduler.stats.stall_seconds
             op_seconds = (model.seconds(op_delta) + op_stall
                           + cpu_us_per_op * 1e-6)
-            latencies.setdefault(op[0], []).append(op_seconds)
+            hist = latencies.get(op[0])
+            if hist is None:
+                hist = latencies[op[0]] = LogHistogram()
+            hist.record(op_seconds)
             cursor = now
     else:
         num_ops, user_write_bytes = execute_ops(store, ops)

@@ -82,6 +82,13 @@ class UniKVConfig:
     #: per-excess-job foreground penalty while slowed down
     slowdown_penalty_us: float = 200.0
 
+    # -- observability (repro.obs) --------------------------------------------------------
+    #: live metrics registry (per-op latency histograms on the virtual
+    #: clock, cache/vlog counters, stall-cause attribution).  False swaps
+    #: in the no-op registry — store behaviour is bit-identical either way
+    #: (pinned by tests/test_obs_equivalence.py).
+    metrics_enabled: bool = True
+
     # -- misc ---------------------------------------------------------------------------
     #: LevelDB-style shared-prefix key encoding inside data blocks
     #: (shrinks the key-dense SortedStore tables; off by default so the

@@ -16,6 +16,7 @@ from repro.engine.vlog import VLogReader
 from repro.core.config import UniKVConfig
 from repro.core.manifest import Manifest
 from repro.env.storage import SimulatedDisk
+from repro.obs import registry_for
 from repro.runtime.scheduler import MaintenanceScheduler
 
 
@@ -43,7 +44,10 @@ class StoreContext:
         self.disk = disk
         self.config = config
         self.manifest = manifest
-        self.cache = BlockCache(config.block_cache_bytes)
+        #: live metrics (repro.obs); the no-op registry when disabled.
+        #: Never performs I/O, so store behaviour is identical either way.
+        self.metrics = registry_for(config.metrics_enabled)
+        self.cache = BlockCache(config.block_cache_bytes, metrics=self.metrics)
         self.stats = CoreStats()
         self.next_table = 0
         self.next_log = 0
@@ -53,7 +57,7 @@ class StoreContext:
         # what makes the paper's lazy value split after partitioning safe).
         self.log_refs: dict[int, set[int]] = {}
         self._tables = TableCache(disk, config.table_cache_size,
-                                  block_cache=self.cache)
+                                  block_cache=self.cache, metrics=self.metrics)
         self._log_readers: dict[int, VLogReader] = {}
         #: test hook: called with a point name at each crash-injection site
         self.crash_hook = None
@@ -64,7 +68,13 @@ class StoreContext:
             slowdown_trigger=config.slowdown_trigger,
             stop_trigger=config.stop_trigger,
             slowdown_penalty_us=config.slowdown_penalty_us,
+            metrics=self.metrics,
         )
+        if self.metrics.enabled:
+            # Span timers measure on the scheduler's deterministic virtual
+            # clock (modelled device seconds + stall seconds), so metric
+            # snapshots are reproducible across runs and asserted exactly.
+            self.metrics.clock = self.scheduler.foreground_clock
 
     # -- crash injection -------------------------------------------------------------
 
@@ -104,7 +114,8 @@ class StoreContext:
     def log_reader(self, log_number: int) -> VLogReader:
         reader = self._log_readers.get(log_number)
         if reader is None:
-            reader = VLogReader(self.disk, self.log_name(log_number))
+            reader = VLogReader(self.disk, self.log_name(log_number),
+                                metrics=self.metrics)
             self._log_readers[log_number] = reader
         return reader
 

@@ -42,13 +42,25 @@ class Partition:
     def get(self, key: bytes) -> bytes | None:
         """Differentiated lookup: memtable, then the hash-indexed
         UnsortedStore, then the fully-sorted SortedStore."""
+        return self.get_with_path(key)[0]
+
+    def get_with_path(self, key: bytes) -> tuple[bytes | None, str]:
+        """(value, path) — which layer answered the lookup.
+
+        ``path`` is ``"memtable"``, ``"unsorted"`` (hash-index hit, the
+        hot inline-value path), ``"sorted"`` (KV-separated cold path) or
+        ``"miss"``; the store splits its latency histograms by it.
+        """
         hit = self.mem.get(key)
-        if hit is None:
-            hit = self.unsorted.get(key)
         if hit is not None:
             kind, value = hit
-            return None if kind == KIND_TOMBSTONE else value
-        return self.sorted.get(key)
+            return (None if kind == KIND_TOMBSTONE else value), "memtable"
+        hit = self.unsorted.get(key)
+        if hit is not None:
+            kind, value = hit
+            return (None if kind == KIND_TOMBSTONE else value), "unsorted"
+        value = self.sorted.get(key)
+        return value, ("sorted" if value is not None else "miss")
 
     # -- log references ----------------------------------------------------------------
 

@@ -94,21 +94,40 @@ class UniKV(KVStore):
     def scheduler(self):
         return self.ctx.scheduler
 
+    @property
+    def metrics(self):
+        """The store's live observability registry (:mod:`repro.obs`)."""
+        return self.ctx.metrics
+
+    def metrics_snapshot(self) -> dict:
+        """Deterministic snapshot of every counter/gauge/histogram."""
+        return self.ctx.metrics.snapshot()
+
     def put(self, key: bytes, value: bytes) -> None:
         self._check_open()
+        metrics = self.ctx.metrics
+        start = metrics.clock() if metrics.enabled else 0.0
         partition = self._partition_for(key)
         if partition.wal is not None:
             partition.wal.append(key, KIND_VALUE, value)
         partition.mem.put(key, value)
         self._maybe_flush(partition)
+        if metrics.enabled:
+            metrics.histogram("unikv_op_seconds", op="put").record(
+                metrics.clock() - start)
 
     def delete(self, key: bytes) -> None:
         self._check_open()
+        metrics = self.ctx.metrics
+        start = metrics.clock() if metrics.enabled else 0.0
         partition = self._partition_for(key)
         if partition.wal is not None:
             partition.wal.append(key, KIND_TOMBSTONE, b"")
         partition.mem.delete(key)
         self._maybe_flush(partition)
+        if metrics.enabled:
+            metrics.histogram("unikv_op_seconds", op="delete").record(
+                metrics.clock() - start)
 
     def write_batch(self, ops: list[tuple]) -> None:
         """Apply a batch of ``("put", key, value)`` / ``("delete", key)``.
@@ -120,6 +139,8 @@ class UniKV(KVStore):
         partitions' groups and not others, never a partial group.
         """
         self._check_open()
+        metrics = self.ctx.metrics
+        start = metrics.clock() if metrics.enabled else 0.0
         groups: dict[int, list[tuple[bytes, int, bytes]]] = {}
         for op in ops:
             if op[0] == "put":
@@ -143,9 +164,23 @@ class UniKV(KVStore):
         for partition in touched:
             if partition in self.partitions:
                 self._maybe_flush(partition)
+        if metrics.enabled:
+            metrics.histogram("unikv_op_seconds", op="batch").record(
+                metrics.clock() - start)
 
     def get(self, key: bytes) -> bytes | None:
-        return self._partition_for(key).get(key)
+        metrics = self.ctx.metrics
+        if not metrics.enabled:
+            return self._partition_for(key).get(key)
+        # Span timing on the scheduler's virtual clock, split by which
+        # layer answered: the UnsortedStore hash-hit path vs the
+        # KV-separated SortedStore path (the paper's differentiated
+        # lookup is exactly this latency asymmetry).
+        start = metrics.clock()
+        value, path = self._partition_for(key).get_with_path(key)
+        metrics.histogram("unikv_op_seconds", op="get", path=path).record(
+            metrics.clock() - start)
+        return value
 
     def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
         """Range scan: seek to ``start``, return up to ``count`` live pairs.
@@ -155,6 +190,16 @@ class UniKV(KVStore):
         run; pointer values are fetched through the parallel-fetch tag.
         Partitions are disjoint and sorted, so they are consumed in order.
         """
+        metrics = self.ctx.metrics
+        if not metrics.enabled:
+            return self._scan(start, count)
+        span_start = metrics.clock()
+        out = self._scan(start, count)
+        metrics.histogram("unikv_op_seconds", op="scan").record(
+            metrics.clock() - span_start)
+        return out
+
+    def _scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
         out: list[tuple[bytes, bytes]] = []
         if count <= 0:
             return out

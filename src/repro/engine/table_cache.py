@@ -22,7 +22,7 @@ class TableCache:
 
     def __init__(self, disk: SimulatedDisk, capacity: int = 16,
                  block_cache: BlockCache | None = None,
-                 open_tag: str = "table_open") -> None:
+                 open_tag: str = "table_open", metrics=None) -> None:
         self._disk = disk
         self.capacity = max(1, capacity)
         self._block_cache = block_cache
@@ -30,6 +30,11 @@ class TableCache:
         self._lru: OrderedDict[str, SSTableReader] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        if metrics is None:
+            from repro.obs import NULL_REGISTRY
+            metrics = NULL_REGISTRY
+        self._hit_counter = metrics.counter("table_cache_hits_total")
+        self._miss_counter = metrics.counter("table_cache_misses_total")
 
     def get(self, name: str, open_pattern: str = "rand") -> SSTableReader:
         """Fetch (opening if needed) one table's reader.
@@ -42,8 +47,10 @@ class TableCache:
         if reader is not None:
             self._lru.move_to_end(name)
             self.hits += 1
+            self._hit_counter.inc()
             return reader
         self.misses += 1
+        self._miss_counter.inc()
         reader = SSTableReader(self._disk, name, cache=self._block_cache,
                                open_tag=self._open_tag,
                                open_pattern=open_pattern)

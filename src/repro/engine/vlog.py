@@ -94,18 +94,27 @@ class VLogWriter:
 class VLogReader:
     """Random and sequential access to one value-log file."""
 
-    def __init__(self, disk: SimulatedDisk, name: str) -> None:
+    def __init__(self, disk: SimulatedDisk, name: str, metrics=None) -> None:
         self._disk = disk
         self._file = disk.open(name)
         self.name = name
+        if metrics is None:
+            from repro.obs import NULL_REGISTRY
+            metrics = NULL_REGISTRY
+        self._read_counter = metrics.counter("vlog_reads_total")
+        self._read_bytes = metrics.counter("vlog_read_bytes_total")
+        self._scan_counter = metrics.counter("vlog_scans_total")
 
     def read_value(self, ptr: ValuePointer, tag: str) -> tuple[bytes, bytes]:
         """(key, value) at ``ptr`` (one random read)."""
         record = self._file.read(ptr.offset, ptr.length, tag=tag)
+        self._read_counter.inc()
+        self._read_bytes.inc(ptr.length)
         return self._decode(record, self.name, ptr.offset)
 
     def scan(self, tag: str) -> Iterator[tuple[bytes, bytes, int, int]]:
         """All (key, value, offset, record_length), sequential read."""
+        self._scan_counter.inc()
         buf = self._disk.read_full(self.name, tag=tag)
         pos = 0
         end = len(buf)

@@ -1,0 +1,33 @@
+"""repro.obs — live observability: metrics registry + latency histograms.
+
+See :mod:`repro.obs.registry` for the registry design and the disabled-path
+guarantee, :mod:`repro.obs.histogram` for the log-bucketed quantile sketch,
+and :mod:`repro.obs.render` for the ``python -m repro stats`` rendering.
+"""
+
+from repro.obs.histogram import DEFAULT_RELATIVE_ERROR, LogHistogram
+from repro.obs.registry import (
+    DEFAULT_QUANTILES,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+    registry_for,
+    snapshot_to_prometheus,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_QUANTILES",
+    "DEFAULT_RELATIVE_ERROR",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "merge_snapshots",
+    "registry_for",
+    "snapshot_to_prometheus",
+]

@@ -1,0 +1,309 @@
+"""Unified metrics registry: counters, gauges, log-bucketed histograms.
+
+One :class:`MetricsRegistry` instance lives per instrumented component —
+each UniKV store carries one (on its :class:`~repro.core.context.StoreContext`,
+clocked by the maintenance scheduler's deterministic virtual clock) and the
+serving layer's :class:`~repro.service.server.KVServer` carries another
+(wall-clocked).  Metrics are identified by name plus a sorted label set,
+Prometheus-style; snapshots are plain JSON-able structures that merge
+exactly (counter/gauge addition, bucket-wise histogram merge), which is
+how the shard router aggregates per-shard registries into one STATS view.
+
+**The disabled path.**  :data:`NULL_REGISTRY` (a :class:`NullRegistry`)
+implements the same surface as no-ops and ``enabled = False`` so hot paths
+can skip even the clock reads.  Nothing in this module ever touches the
+simulated device or mutates store state, so store behaviour is
+bit-identical with metrics on, off, or absent — the equivalence test suite
+(``tests/test_obs_equivalence.py``) pins that guarantee.
+
+**Clocks.**  ``registry.clock`` is any zero-argument callable returning
+seconds.  Store registries are wired to
+``MaintenanceScheduler.foreground_clock`` — modelled device seconds plus
+stall seconds — so span measurements are deterministic and tests can
+assert exact snapshots; the server uses ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs.histogram import DEFAULT_RELATIVE_ERROR, LogHistogram
+
+#: quantile fractions exported in snapshots (p50/p95/p99 per the paper's
+#: tail-latency reporting, plus p99.9 for the stall tails E15 measures)
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+LabelKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+class Counter:
+    """Monotonic counter (float increments allowed, e.g. stall seconds)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (queue depths, cache occupancy)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def dec(self, n=1) -> None:
+        self.value -= n
+
+
+class MetricsRegistry:
+    """Names + labels -> live metric objects, with snapshot/merge/export."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        #: span clock; components with a virtual clock override this
+        self.clock = clock if clock is not None else time.perf_counter
+        self._counters: dict[LabelKey, Counter] = {}
+        self._gauges: dict[LabelKey, Gauge] = {}
+        self._histograms: dict[LabelKey, LogHistogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, str]) -> LabelKey:
+        return (name, tuple(sorted(labels.items())))
+
+    # -- metric accessors (get-or-create) ----------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = self._key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = self._key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  relative_error: float = DEFAULT_RELATIVE_ERROR,
+                  **labels: str) -> LogHistogram:
+        key = self._key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = LogHistogram(relative_error)
+        return metric
+
+    # -- snapshot -----------------------------------------------------------------------
+
+    def snapshot(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> dict:
+        """JSON-able view of every metric, deterministically ordered.
+
+        Histogram entries carry their raw buckets (so snapshots merge
+        exactly) *and* rendered quantile estimates (so consumers need no
+        histogram math).
+        """
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": metric.value}
+                for (name, labels), metric in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": metric.value}
+                for (name, labels), metric in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {"name": name, "labels": dict(labels),
+                 **hist.to_dict(),
+                 "quantiles": hist.quantiles(quantiles)}
+                for (name, labels), hist in sorted(self._histograms.items())
+            ],
+        }
+
+    def to_prometheus(self,
+                      quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> str:
+        """Prometheus text exposition of the current state."""
+        return snapshot_to_prometheus(self.snapshot(quantiles))
+
+
+class _NullMetric:
+    """Accepts every mutation and does nothing."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def dec(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def record(self, value, n=1) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """No-op registry: same surface, zero state, ``enabled = False``.
+
+    Hot paths guard their span-clock reads on ``registry.enabled``, so the
+    disabled mode costs one attribute read per operation; and because no
+    registry ever performs I/O, store behaviour is bit-identical either
+    way (proven by the equivalence tests).
+    """
+
+    enabled = False
+
+    @staticmethod
+    def clock() -> float:
+        return 0.0
+
+    def counter(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str,
+                  relative_error: float = DEFAULT_RELATIVE_ERROR,
+                  **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def to_prometheus(self,
+                      quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> str:
+        return ""
+
+
+#: shared no-op instance; safe to share because it holds no state
+NULL_REGISTRY = NullRegistry()
+
+
+def registry_for(enabled: bool,
+                 clock: Callable[[], float] | None = None):
+    """A fresh real registry, or the shared null one."""
+    return MetricsRegistry(clock=clock) if enabled else NULL_REGISTRY
+
+
+# -- snapshot algebra -------------------------------------------------------------------
+
+
+def _entry_key(entry: dict) -> LabelKey:
+    return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+
+def merge_snapshots(snapshots: list[dict],
+                    quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> dict:
+    """Aggregate registry snapshots (e.g. one per shard) into one.
+
+    Counters and gauges with equal (name, labels) are summed; histograms
+    are merged bucket-wise and their quantiles recomputed from the merged
+    distribution — the aggregation the shard router applies for STATS.
+    """
+    counters: dict[LabelKey, dict] = {}
+    gauges: dict[LabelKey, dict] = {}
+    histograms: dict[LabelKey, dict] = {}
+    for snap in snapshots:
+        for entry in snap.get("counters", ()):
+            key = _entry_key(entry)
+            if key in counters:
+                counters[key]["value"] += entry["value"]
+            else:
+                counters[key] = {"name": entry["name"],
+                                 "labels": dict(entry["labels"]),
+                                 "value": entry["value"]}
+        for entry in snap.get("gauges", ()):
+            key = _entry_key(entry)
+            if key in gauges:
+                gauges[key]["value"] += entry["value"]
+            else:
+                gauges[key] = {"name": entry["name"],
+                               "labels": dict(entry["labels"]),
+                               "value": entry["value"]}
+        for entry in snap.get("histograms", ()):
+            key = _entry_key(entry)
+            hist = LogHistogram.from_dict(entry)
+            if key in histograms:
+                histograms[key]["_hist"].merge(hist)
+            else:
+                histograms[key] = {"name": entry["name"],
+                                   "labels": dict(entry["labels"]),
+                                   "_hist": hist}
+    return {
+        "counters": [counters[key] for key in sorted(counters)],
+        "gauges": [gauges[key] for key in sorted(gauges)],
+        "histograms": [
+            {"name": entry["name"], "labels": entry["labels"],
+             **entry["_hist"].to_dict(),
+             "quantiles": entry["_hist"].quantiles(quantiles)}
+            for key, entry in sorted(histograms.items())
+        ],
+    }
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(sorted(labels.items()))
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    return "{%s}" % inner
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Histograms are exported summary-style (``quantile`` label plus
+    ``_count``/``_sum`` series) — the shape that keeps log-bucketed
+    quantile estimates intact without a fixed ``le`` bucket schema.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for entry in snapshot.get("counters", ()):
+        if entry["name"] not in typed:
+            lines.append(f"# TYPE {entry['name']} counter")
+            typed.add(entry["name"])
+        lines.append(f"{entry['name']}{_prom_labels(entry['labels'])} "
+                     f"{entry['value']}")
+    for entry in snapshot.get("gauges", ()):
+        if entry["name"] not in typed:
+            lines.append(f"# TYPE {entry['name']} gauge")
+            typed.add(entry["name"])
+        lines.append(f"{entry['name']}{_prom_labels(entry['labels'])} "
+                     f"{entry['value']}")
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"]
+        if name not in typed:
+            lines.append(f"# TYPE {name} summary")
+            typed.add(name)
+        for label, value in entry.get("quantiles", {}).items():
+            q = float(label[1:]) / 100.0
+            lines.append(f"{name}{_prom_labels(entry['labels'], {'quantile': f'{q:g}'})} "
+                         f"{value:.9g}")
+        lines.append(f"{name}_count{_prom_labels(entry['labels'])} "
+                     f"{entry['count']}")
+        lines.append(f"{name}_sum{_prom_labels(entry['labels'])} "
+                     f"{entry['sum']:.9g}")
+    return "\n".join(lines) + ("\n" if lines else "")

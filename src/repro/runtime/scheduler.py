@@ -61,6 +61,9 @@ class WriteStallStats:
     job_counts: dict[str, int] = field(default_factory=dict)
     #: modelled device seconds per job kind
     job_seconds: dict[str, float] = field(default_factory=dict)
+    #: stall events attributed by cause: "<slowdown|stop>:<job kind>" of
+    #: the submission that pushed the background queue over the trigger
+    stall_causes: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -74,6 +77,7 @@ class WriteStallStats:
             "queue_depth_high_water": self.queue_depth_high_water,
             "job_counts": dict(self.job_counts),
             "job_seconds": dict(self.job_seconds),
+            "stall_causes": dict(self.stall_causes),
         }
 
 
@@ -109,7 +113,8 @@ class MaintenanceScheduler:
                  cost_model: DeviceCostModel | None = None,
                  slowdown_trigger: int = 4, stop_trigger: int = 8,
                  slowdown_penalty_us: float = 200.0,
-                 stats: WriteStallStats | None = None) -> None:
+                 stats: WriteStallStats | None = None,
+                 metrics=None) -> None:
         self._disk = disk
         self.background_threads = int(background_threads)
         self.cost_model = cost_model if cost_model is not None else DeviceCostModel()
@@ -117,6 +122,12 @@ class MaintenanceScheduler:
         self.stop_trigger = stop_trigger
         self.slowdown_penalty_us = slowdown_penalty_us
         self.stats = stats if stats is not None else WriteStallStats()
+        if metrics is None:
+            from repro.obs import NULL_REGISTRY
+            metrics = NULL_REGISTRY
+        #: live observability registry (repro.obs); never does I/O, so
+        #: scheduling behaviour is identical with or without it
+        self.metrics = metrics
         #: I/O already attributed to background lanes (subtracted from the
         #: disk totals to obtain the foreground-only counters)
         self.background_io = IOStats()
@@ -176,6 +187,10 @@ class MaintenanceScheduler:
         self.stats.job_counts[job.kind] = self.stats.job_counts.get(job.kind, 0) + 1
         self.stats.job_seconds[job.kind] = (
             self.stats.job_seconds.get(job.kind, 0.0) + job.duration_seconds)
+        if self.metrics.enabled:
+            self.metrics.histogram(
+                "maintenance_job_seconds", kind=job.kind).record(
+                    job.duration_seconds)
         if self.overlapped:
             self._account_background(job, own)
         return job
@@ -190,18 +205,19 @@ class MaintenanceScheduler:
         end = start + job.duration_seconds
         self._lanes[lane] = end
         heapq.heappush(self._inflight, end)
-        self._apply_backpressure(clock)
+        self._apply_backpressure(clock, cause=job.kind)
 
     def _prune_finished(self, clock: float) -> None:
         while self._inflight and self._inflight[0] <= clock:
             heapq.heappop(self._inflight)
 
-    def _apply_backpressure(self, clock: float) -> None:
+    def _apply_backpressure(self, clock: float, cause: str) -> None:
         self._prune_finished(clock)
         depth = len(self._inflight)
         if depth > self.stats.queue_depth_high_water:
             self.stats.queue_depth_high_water = depth
         stall = 0.0
+        kind = ""
         if depth >= self.stop_trigger:
             # Write stop: the foreground waits until enough background jobs
             # finish; the clock jumps to the relevant job-end time.
@@ -209,13 +225,26 @@ class MaintenanceScheduler:
             while len(self._inflight) >= self.stop_trigger:
                 target = heapq.heappop(self._inflight)
             stall = max(0.0, target - clock)
+            kind = "stop"
         elif depth >= self.slowdown_trigger:
             # Delayed write: a fixed penalty per excess in-flight job.
             excess = depth - self.slowdown_trigger + 1
             stall = excess * self.slowdown_penalty_us * 1e-6
+            kind = "slowdown"
         if stall > 0.0:
             self.stats.stall_seconds += stall
             self.stats.stall_events += 1
+            # Attribution: the stall is charged to the job whose submission
+            # pushed the queue over the trigger — the cause a tail-latency
+            # investigation needs, not just "a stall happened".
+            cause_key = f"{kind}:{cause}"
+            self.stats.stall_causes[cause_key] = (
+                self.stats.stall_causes.get(cause_key, 0) + 1)
+            if self.metrics.enabled:
+                self.metrics.counter("write_stalls_total",
+                                     type=kind, cause=cause).inc()
+                self.metrics.counter("write_stall_seconds_total").inc(stall)
+                self.metrics.histogram("write_stall_seconds").record(stall)
 
     # -- introspection ----------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.config import UniKVConfig
 from repro.core.store import UniKV
+from repro.obs import merge_snapshots
 
 
 @dataclass(frozen=True)
@@ -219,6 +220,15 @@ class ShardRouter:
                 "write_stall": store.scheduler.stats.as_dict(),
             })
         return {"shards": shards, "aggregate": _aggregate(shards)}
+
+    def metrics_snapshot(self) -> dict:
+        """One obs snapshot for the whole deployment.
+
+        Histograms merge bucket-by-bucket (quantiles are recomputed over
+        the union, not averaged — averaging per-shard p99s is wrong) and
+        counters/gauges sum, so the result reads like one store's snapshot.
+        """
+        return merge_snapshots([store.metrics_snapshot() for store in self.stores])
 
     def describe(self) -> dict:
         return {

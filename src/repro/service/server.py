@@ -42,6 +42,8 @@ from dataclasses import dataclass
 
 from repro.core.config import UniKVConfig
 from repro.env.storage import DiskCrashed
+from repro.obs import MetricsRegistry
+from repro.obs.render import render_periodic_dump
 from repro.service import protocol
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
@@ -107,6 +109,10 @@ class KVServer:
         self.max_scan_items = max_scan_items
         self.close_router_on_stop = close_router_on_stop
         self.stats = ServerStats()
+        #: server-side observability; wall clock (perf_counter), unlike the
+        #: stores' registries which run on the schedulers' virtual clocks
+        self.metrics = MetricsRegistry()
+        self._inflight = 0
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[_Connection] = set()
         self._stopping = asyncio.Event()
@@ -188,10 +194,26 @@ class KVServer:
 
     async def _respond(self, item: bytes | FrameTooLarge,
                        conn: _Connection) -> bytes:
+        start = self.metrics.clock()
+        self._inflight += 1
+        depth = self.metrics.gauge("server_inflight_requests_high_water")
+        if self._inflight > depth.value:
+            depth.set(self._inflight)
+        try:
+            op_name, response = await self._dispatch(item, conn)
+        finally:
+            self._inflight -= 1
+        self.metrics.histogram("server_request_seconds", op=op_name).record(
+            self.metrics.clock() - start)
+        return response
+
+    async def _dispatch(self, item: bytes | FrameTooLarge,
+                        conn: _Connection) -> tuple[str, bytes]:
+        """(op label for metrics, encoded response)."""
         self.stats.requests += 1
         if isinstance(item, FrameTooLarge):
             self.stats.too_large_frames += 1
-            return protocol.encode_response(
+            return "invalid", protocol.encode_response(
                 Status.TOO_LARGE,
                 b"frame of %d bytes exceeds limit %d"
                 % (item.declared_size, self.max_frame_bytes))
@@ -199,20 +221,22 @@ class KVServer:
             request = protocol.decode_request(item)
         except ProtocolError as exc:
             self.stats.bad_requests += 1
-            return protocol.encode_response(Status.BAD_REQUEST, str(exc).encode())
+            return "invalid", protocol.encode_response(
+                Status.BAD_REQUEST, str(exc).encode())
+        op_name = request.op.name.lower()
         try:
-            return await self._execute(request, conn)
+            return op_name, await self._execute(request, conn)
         except DiskCrashed as exc:
             # A shard's device failed mid-operation.  That's transient from
             # the client's point of view — the operator (or chaos harness)
             # recovers the shard and re-attaches it — so steer the client
             # to its retry path rather than reporting a hard error.
             self.stats.errors += 1
-            return protocol.encode_response(
+            return op_name, protocol.encode_response(
                 Status.RETRY, f"shard device crashed: {exc}".encode())
         except Exception as exc:  # a failing request must not kill the stream
             self.stats.errors += 1
-            return protocol.encode_response(
+            return op_name, protocol.encode_response(
                 Status.ERROR, f"{type(exc).__name__}: {exc}".encode())
 
     async def _execute(self, request: protocol.Request,
@@ -236,10 +260,8 @@ class KVServer:
             return protocol.encode_response(
                 Status.OK, protocol.encode_pairs_body(pairs))
         if op == Op.STATS:
-            stats = router.stats()
-            stats["server"] = self.stats.as_dict()
             return protocol.encode_response(
-                Status.OK, protocol.encode_json_body(stats))
+                Status.OK, protocol.encode_json_body(self.stats_payload()))
         if op == Op.DESCRIBE:
             return protocol.encode_response(
                 Status.OK, protocol.encode_json_body(router.describe()))
@@ -266,6 +288,23 @@ class KVServer:
                 router.write_batch(request.ops)
                 applied = len(request.ops)
         return protocol.encode_response(Status.OK, _U32.pack(applied))
+
+    # -- stats ------------------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        """The full STATS response body: legacy counters plus obs snapshots.
+
+        ``obs.stores`` is the shard-merged store registry view (histograms
+        merged bucket-wise, quantiles recomputed); ``obs.server`` is this
+        server's own wall-clocked registry.
+        """
+        stats = self.router.stats()
+        stats["server"] = self.stats.as_dict()
+        stats["obs"] = {
+            "server": self.metrics.snapshot(),
+            "stores": self.router.metrics_snapshot(),
+        }
+        return stats
 
     # -- admission control ------------------------------------------------------------
 
@@ -312,16 +351,24 @@ class KVServer:
         return None
 
 
+async def _periodic_stats_dump(server: KVServer, interval: float) -> None:
+    while True:
+        await asyncio.sleep(interval)
+        print(render_periodic_dump(server.stats_payload()), flush=True)
+
+
 async def run_server(num_shards: int = 2, host: str = "127.0.0.1",
                      port: int = 7711, boundaries: list[bytes] | None = None,
                      config: UniKVConfig | None = None,
                      admission: str = "delay",
+                     stats_interval: float = 0.0,
                      ready: asyncio.Event | None = None,
                      server_ref: list | None = None) -> ServerStats:
     """Serve until SIGINT/SIGTERM (or cancellation), then drain gracefully.
 
-    ``ready``/``server_ref`` let an in-process harness wait for startup and
-    learn the bound port when ``port=0``.
+    ``stats_interval > 0`` prints a compact metrics line every that many
+    seconds.  ``ready``/``server_ref`` let an in-process harness wait for
+    startup and learn the bound port when ``port=0``.
     """
     router = ShardRouter.create(num_shards, boundaries=boundaries, config=config)
     server = KVServer(router, host, port, admission=admission)
@@ -335,11 +382,19 @@ async def run_server(num_shards: int = 2, host: str = "127.0.0.1",
     for sig in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError):
             loop.add_signal_handler(sig, stop.set)
+    dump_task: asyncio.Task | None = None
+    if stats_interval > 0:
+        dump_task = asyncio.ensure_future(
+            _periodic_stats_dump(server, stats_interval))
     if ready is not None:
         ready.set()
     try:
         await stop.wait()
     finally:
+        if dump_task is not None:
+            dump_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await dump_task
         await server.stop()
         print(f"repro-kv: shutdown complete "
               f"({server.stats.requests} requests served)", flush=True)

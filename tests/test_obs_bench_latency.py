@@ -1,0 +1,83 @@
+"""Regression: histogram-backed bench latencies match raw-sample percentiles.
+
+``RunMetrics.latencies`` used to accumulate every per-op modelled second in
+an unbounded ``list[float]``; it is now a bounded
+:class:`~repro.obs.LogHistogram` per op kind.  These tests re-derive the
+raw samples for the identical deterministic workload on an identically
+seeded store and check the histogram percentiles agree with the raw
+rank-based percentiles within the histogram's relative error.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import run_workload
+from repro.core import UniKV
+from repro.obs import DEFAULT_RELATIVE_ERROR, LogHistogram
+from repro.workloads import load_phase, ycsb_run
+from tests.conftest import tiny_unikv_config
+
+
+def raw_latencies(ops) -> dict[str, list[float]]:
+    """The pre-histogram collection: per-op modelled seconds as lists.
+
+    Reproduces run_workload's measurement (synchronous mode: per-op disk
+    delta through the effective cost model plus the fixed CPU cost) by
+    running each op individually on an identically configured store.
+    """
+    from repro.bench.runner import (
+        DEFAULT_CPU_US_PER_OP,
+        effective_cost_model,
+        execute_ops,
+    )
+    from repro.env.cost_model import DeviceCostModel
+
+    store = UniKV(config=tiny_unikv_config())
+    model = effective_cost_model(store, DeviceCostModel())
+    out: dict[str, list[float]] = {}
+    cursor = store.disk.stats.snapshot()
+    for op in ops:
+        execute_ops(store, [op])
+        now = store.disk.stats.snapshot()
+        seconds = (model.seconds(now.delta_since(cursor))
+                   + DEFAULT_CPU_US_PER_OP * 1e-6)
+        out.setdefault(op[0], []).append(seconds)
+        cursor = now
+    return out
+
+
+def mixed_workload():
+    ops = list(load_phase(1200, value_size=60))
+    ops += list(ycsb_run("A", 1200, 400, value_size=60, seed=21))
+    return ops
+
+
+def test_histogram_percentiles_match_raw_samples():
+    ops = mixed_workload()
+    metrics = run_workload(UniKV(config=tiny_unikv_config()), ops,
+                           phase="mixed", collect_latencies=True)
+    raw = raw_latencies(ops)
+    assert set(metrics.latencies) == set(raw)
+    for kind, samples in raw.items():
+        hist = metrics.latencies[kind]
+        assert isinstance(hist, LogHistogram)
+        assert len(hist) == len(samples)
+        assert hist.sum == pytest.approx(sum(samples), rel=1e-9)
+        ordered = sorted(samples)
+        for pct in (50.0, 90.0, 99.0, 99.9):
+            truth = ordered[math.floor(pct / 100.0 * (len(ordered) - 1))]
+            estimate = metrics.latency_us(kind, pct) / 1e6
+            assert estimate == pytest.approx(
+                truth, rel=DEFAULT_RELATIVE_ERROR)
+
+
+def test_latency_memory_is_bounded_by_buckets_not_samples():
+    ops = list(load_phase(3000, value_size=40))
+    metrics = run_workload(UniKV(config=tiny_unikv_config()), ops,
+                           phase="load", collect_latencies=True)
+    hist = metrics.latencies["insert"]
+    assert hist.count == 3000
+    # The whole point of the change: storage grows with distinct latency
+    # magnitudes (log buckets), not with the op count.
+    assert len(hist.buckets) < 300

@@ -1,0 +1,100 @@
+"""Metrics-on vs metrics-off equivalence: observation must not perturb.
+
+The obs layer never touches the simulated device, so a store with
+``metrics_enabled=True`` must produce bit-identical on-disk bytes,
+identical read results and identical I/O accounting to one running the
+no-op registry — across synchronous and overlapped scheduler modes.  This
+mirrors ``tests/test_runtime_equivalence.py``, which pins the same
+invariant for the scheduler itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UniKV
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from tests.conftest import tiny_unikv_config
+from tests.test_runtime_equivalence import apply_ops, disk_state, mixed_ops
+
+
+def build_pair(background_threads: int):
+    on = UniKV(config=tiny_unikv_config(
+        metrics_enabled=True, background_threads=background_threads))
+    off = UniKV(config=tiny_unikv_config(
+        metrics_enabled=False, background_threads=background_threads))
+    return on, off
+
+
+def io_records(store) -> dict:
+    return {key: (rec.ops, rec.bytes)
+            for key, rec in store.disk.stats.records.items()}
+
+
+@pytest.mark.parametrize("background_threads", [0, 2])
+def test_metrics_mode_state_identical(background_threads):
+    ops = mixed_ops(3000, seed=23)
+    on, off = build_pair(background_threads)
+    on_results = apply_ops(on, ops)
+    off_results = apply_ops(off, ops)
+    assert on_results == off_results
+    assert disk_state(on) == disk_state(off)
+    assert io_records(on) == io_records(off)
+    assert (on.scheduler.stats.as_dict() == off.scheduler.stats.as_dict())
+    # The instrumented store really recorded something...
+    snap = on.metrics_snapshot()
+    ops_recorded = sum(entry["count"] for entry in snap["histograms"]
+                      if entry["name"] == "unikv_op_seconds")
+    assert ops_recorded == len(ops)
+    # ...and the disabled one runs the shared no-op registry.
+    assert on.metrics is not NULL_REGISTRY
+    assert isinstance(on.metrics, MetricsRegistry)
+    assert off.metrics is NULL_REGISTRY
+    assert off.metrics_snapshot() == {"counters": [], "gauges": [],
+                                      "histograms": []}
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_ops=st.integers(min_value=200, max_value=1200))
+def test_metrics_equivalence_property(seed, n_ops):
+    ops = mixed_ops(n_ops, seed=seed, key_space=150)
+    states = []
+    for enabled in (True, False):
+        db = UniKV(config=tiny_unikv_config(metrics_enabled=enabled))
+        results = apply_ops(db, ops)
+        states.append((disk_state(db), results, io_records(db)))
+    assert states[0] == states[1]
+
+
+def test_metrics_survive_recovery_equivalently():
+    """Reopening over an existing disk keeps the equivalence, and the
+    recovered store gets a fresh registry wired to its new scheduler."""
+    ops = mixed_ops(1500, seed=5)
+    on, off = build_pair(background_threads=0)
+    apply_ops(on, ops)
+    apply_ops(off, ops)
+    on.close()
+    off.close()
+    re_on = UniKV(disk=on.disk, config=on.config)
+    re_off = UniKV(disk=off.disk, config=off.config)
+    more = mixed_ops(800, seed=6)
+    assert apply_ops(re_on, more) == apply_ops(re_off, more)
+    assert disk_state(re_on) == disk_state(re_off)
+    assert re_on.metrics.enabled and not re_off.metrics.enabled
+    assert any(entry["name"] == "unikv_op_seconds"
+               for entry in re_on.metrics_snapshot()["histograms"])
+
+
+def test_get_path_split_covers_all_layers():
+    """The per-path get histograms cover memtable, unsorted, sorted and
+    miss once the workload has pushed data through every layer."""
+    db = UniKV(config=tiny_unikv_config())
+    apply_ops(db, mixed_ops(4000, seed=9))
+    for key in (b"k00000", b"does-not-exist"):
+        db.get(key)
+    paths = {entry["labels"]["path"]
+             for entry in db.metrics_snapshot()["histograms"]
+             if entry["name"] == "unikv_op_seconds"
+             and entry["labels"].get("op") == "get"}
+    assert {"memtable", "unsorted", "sorted", "miss"} <= paths
